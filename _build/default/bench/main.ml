@@ -1,0 +1,206 @@
+(* The benchmark harness, in two parts.
+
+   Part 1 — Bechamel microbenchmarks: one Test.make per paper table and
+   figure, measuring the host-side cost of the mechanism that dominates
+   that experiment (checkpoint forking for the overhead figures, state
+   hashing for the comparator, execution-point replay for the sweeps,
+   whole protected runs for the end-to-end tables, ...).
+
+   Part 2 — the full reproduction: every table and figure of the paper's
+   evaluation, printed as rows/series (same output as
+   bin/experiments_main.exe all). Honours PARALLAFT_QUICK=1 and
+   PARALLAFT_SCALE. *)
+
+open Bechamel
+open Toolkit
+
+let platform = Platform.apple_m2
+let page_size = platform.Platform.page_size
+
+(* --- fixtures -------------------------------------------------------- *)
+
+let small_program =
+  Workloads.Codegen.generate ~name:"bench" ~seed:7L ~page_size
+    {
+      Workloads.Codegen.pattern =
+        Workloads.Codegen.Chase { pages = 32; hot_pages = 3; cold_every = 4 };
+      alu_per_mem = 4;
+      store_every = 3;
+      outer_iters = 6;
+      inner_iters = 120;
+      io_every = 3;
+      gettime_every = 0;
+      rdtsc_every = 0;
+      mmap_churn = false;
+    }
+
+let forked_aspace_pair () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(256 * page_size)
+    Mem.Page_table.Read_write;
+  let child = Mem.Address_space.fork aspace in
+  (aspace, child)
+
+let protected_run ?fault_plan config_of () =
+  let config =
+    match fault_plan with
+    | None -> config_of ()
+    | Some plan -> { (config_of ()) with Parallaft.Config.fault_plan = Some plan }
+  in
+  let r =
+    Parallaft.Runtime.run_protected ~platform ~config ~program:small_program ()
+  in
+  assert (r.Parallaft.Runtime.exit_status <> None || r.Parallaft.Runtime.aborted)
+
+let parallaft_cfg () = Parallaft.Config.parallaft ~platform ~slice_period:30_000 ()
+let raft_cfg () = Parallaft.Config.raft ~platform ()
+
+(* --- one microbench per table/figure --------------------------------- *)
+
+let tests =
+  [
+    (* Table 1: the end-to-end protected run (Parallaft row). *)
+    Test.make ~name:"table1:protected_run_parallaft"
+      (Staged.stage (fun () -> protected_run parallaft_cfg ()));
+    (* Table 2: RAFT's whole-program streaming replay. *)
+    Test.make ~name:"table2:protected_run_raft"
+      (Staged.stage (fun () -> protected_run raft_cfg ()));
+    (* Figure 5: the baseline the overheads are measured against. *)
+    Test.make ~name:"fig5:baseline_run"
+      (Staged.stage (fun () ->
+           let b =
+             Parallaft.Runtime.run_baseline ~platform ~program:small_program ()
+           in
+           assert (b.Parallaft.Runtime.exit_status = Some 0)));
+    (* Figure 6 (fork+COW component): checkpoint fork + first-write storm. *)
+    Test.make ~name:"fig6:cow_checkpoint_storm"
+      (Staged.stage (fun () ->
+           let parent, child = forked_aspace_pair () in
+           for vpn = 0 to 255 do
+             Mem.Address_space.store64 child (vpn * page_size) vpn
+           done;
+           ignore parent));
+    (* Figure 7 (energy): a full engine quantum sweep with idle cores. *)
+    Test.make ~name:"fig7:engine_quantum_stepping"
+      (Staged.stage (fun () ->
+           let eng = Sim_os.Engine.create ~platform ~seed:3L () in
+           let _pid =
+             Sim_os.Engine.spawn eng ~program:(Workloads.Micro.getpid_loop ~iters:50)
+               ~core:0 ()
+           in
+           Sim_os.Engine.run ~max_ns:10_000_000 eng;
+           assert (Sim_os.Engine.energy_j eng > 0.0)));
+    (* Figure 8 (memory): PSS accounting over a COW-shared address space. *)
+    Test.make ~name:"fig8:pss_accounting"
+      (Staged.stage (fun () ->
+           let parent, child = forked_aspace_pair () in
+           let p = Mem.Page_table.pss_bytes (Mem.Address_space.page_table parent) in
+           let c = Mem.Page_table.pss_bytes (Mem.Address_space.page_table child) in
+           assert (p + c = 256 * page_size)));
+    (* Figure 9 (slicing): dirty-page collection, the per-boundary scan. *)
+    Test.make ~name:"fig9:dirty_page_collect"
+      (Staged.stage (fun () ->
+           let _, child = forked_aspace_pair () in
+           for vpn = 0 to 127 do
+             Mem.Address_space.store64 child (vpn * page_size) vpn
+           done;
+           let pt = Mem.Address_space.page_table child in
+           assert (List.length (Mem.Page_table.uniquely_mapped pt) >= 128)));
+    (* Figure 10 (fault injection): a protected run with an armed flip. *)
+    Test.make ~name:"fig10:fault_injection_run"
+      (Staged.stage
+         (protected_run
+            ~fault_plan:
+              { Parallaft.Config.segment = 0; delay_instructions = 500; reg = 13;
+                bit = 4 }
+            parallaft_cfg));
+    (* Section 5.7 (stress): the state comparator's hashing, XXH64 vs FNV. *)
+    Test.make ~name:"stress:xxh64_hash_1MiB"
+      (Staged.stage
+         (let buf = Bytes.create (1 lsl 20) in
+          fun () -> ignore (Ftr_hash.Xxh64.hash buf)));
+    Test.make ~name:"stress:fnv64_hash_1MiB"
+      (Staged.stage
+         (let buf = Bytes.create (1 lsl 20) in
+          fun () -> ignore (Ftr_hash.Fnv64.hash buf)));
+    (* Section 5.8 (Intel): execution-point replay, arm-to-breakpoint. *)
+    Test.make ~name:"intel:exec_point_replay"
+      (Staged.stage (fun () ->
+           let alloc = Mem.Frame.allocator ~page_size in
+           let aspace = Mem.Address_space.create alloc in
+           let program =
+             Isa.Asm.assemble_exn
+               "li r1, 5000\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt"
+           in
+           let cpu =
+             Machine.Cpu.create ~rng:(Util.Rng.create ~seed:9L) ~program ~aspace ()
+           in
+           let env =
+             {
+               Machine.Cpu.core_id = 0;
+               read_tsc = (fun () -> 0);
+               read_rand = (fun () -> 0);
+               mem_access = (fun ~write:_ ~frame:_ -> 0);
+               mem_access_cow = (fun ~frame:_ ~old_frame:_ -> 0);
+               cow_extra_cycles = 0;
+               mul_cycles = 3;
+               div_cycles = 12;
+             }
+           in
+           let replay =
+             Parallaft.Exec_point.start_replay
+               ~targets:[ { Parallaft.Exec_point.branches = 4000; pc = 2 } ]
+               ~cpu
+           in
+           let rec drive () =
+             let res = Machine.Cpu.run cpu ~env ~max_cycles:1_000_000 in
+             match res.Machine.Cpu.stop with
+             | Machine.Cpu.Counter_overflow_stop -> (
+               match Parallaft.Exec_point.on_branch_overflow replay with
+               | Parallaft.Exec_point.Reached _ -> ()
+               | Parallaft.Exec_point.Keep_running -> drive ())
+             | Machine.Cpu.Breakpoint_stop -> (
+               match Parallaft.Exec_point.on_breakpoint replay with
+               | Parallaft.Exec_point.Reached _ -> ()
+               | Parallaft.Exec_point.Keep_running -> drive ())
+             | _ -> assert false
+           in
+           drive ();
+           assert (Machine.Cpu.branches cpu = 4000)));
+  ]
+
+let run_microbenches () =
+  print_endline "================================================================";
+  print_endline "Part 1: Bechamel microbenchmarks (one per table/figure)";
+  print_endline "================================================================";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+            Printf.printf "  %-34s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  run_microbenches ();
+  print_newline ();
+  print_endline "================================================================";
+  print_endline "Part 2: full reproduction of every table and figure";
+  print_endline "================================================================";
+  print_newline ();
+  match Experiments.Registry.find "all" with
+  | Some exps -> List.iter Experiments.Registry.run exps
+  | None -> assert false

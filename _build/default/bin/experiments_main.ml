@@ -1,0 +1,14 @@
+(* Regenerate the paper's tables and figures. Usage:
+     experiments_main [all | table1 | table2 | fig5 | fig6 | fig7 | fig8 |
+                       fig9 | fig10 | stress | intel | calibrate]
+   Environment: PARALLAFT_SCALE (workload scale, default 1.0),
+   PARALLAFT_QUICK=1 (reduced benchmark sets). *)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match Experiments.Registry.find which with
+  | Some exps -> List.iter (fun e -> Experiments.Registry.run e) exps
+  | None ->
+    prerr_endline ("unknown experiment: " ^ which);
+    prerr_endline ("known: " ^ String.concat " " (Experiments.Registry.names ()));
+    exit 2

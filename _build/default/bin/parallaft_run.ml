@@ -1,0 +1,157 @@
+(* The artifact-style CLI:
+
+     parallaft [--platform apple_m2|intel_i7|testing] [--mode ...]
+               [--period N] [--scale F] --workload NAME [--input K]
+
+   or, to protect a hand-written assembly file:
+
+     parallaft --asm FILE [options]
+
+   On completion it dumps the statistics keys the paper's artifact
+   documents (timing.all_wall_time, counter.checkpoint_count,
+   fixed_interval_slicer.nr_slices, ...). *)
+
+open Cmdliner
+
+let platform_of_string = function
+  | "apple_m2" -> Ok Platform.apple_m2
+  | "intel_i7" -> Ok Platform.intel_i7
+  | "testing" -> Ok Platform.testing
+  | s -> Error (`Msg ("unknown platform " ^ s))
+
+type mode_arg = Mode_baseline | Mode_parallaft | Mode_raft
+
+let mode_of_string = function
+  | "baseline" -> Ok Mode_baseline
+  | "parallaft" -> Ok Mode_parallaft
+  | "raft" -> Ok Mode_raft
+  | s -> Error (`Msg ("unknown mode " ^ s))
+
+let run platform_name mode_name period scale workload input asm_file seed
+    show_output =
+  match platform_of_string platform_name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok platform -> (
+    match mode_of_string mode_name with
+    | Error (`Msg m) ->
+      prerr_endline m;
+      1
+    | Ok mode -> (
+      let program =
+        match (asm_file, workload) with
+        | Some path, _ ->
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let src = really_input_string ic len in
+          close_in ic;
+          Some (Isa.Asm.assemble_exn ~name:path src)
+        | None, Some name -> (
+          match Workloads.Spec.find name with
+          | Some bench ->
+            let programs =
+              Workloads.Spec.programs bench
+                ~page_size:platform.Platform.page_size ~scale
+            in
+            List.nth_opt programs input
+          | None -> (
+            match name with
+            | "hello" -> Some (Workloads.Micro.hello ())
+            | "getpid" -> Some (Workloads.Micro.getpid_loop ~iters:1000)
+            | _ -> None))
+        | None, None -> None
+      in
+      match program with
+      | None ->
+        prerr_endline
+          ("no such workload/input; known: hello getpid "
+          ^ String.concat " " Workloads.Spec.names);
+        1
+      | Some program -> (
+        match mode with
+        | Mode_baseline ->
+          let b = Parallaft.Runtime.run_baseline ~seed ~platform ~program () in
+          Printf.printf "timing.all_wall_time %d\n" b.Parallaft.Runtime.wall_ns;
+          Printf.printf "timing.main_wall_time %d\n" b.Parallaft.Runtime.wall_ns;
+          Printf.printf "timing.main_user_time %.0f\n" b.Parallaft.Runtime.user_ns;
+          Printf.printf "timing.main_sys_time %.0f\n" b.Parallaft.Runtime.sys_ns;
+          Printf.printf "hwmon.energy_joules %.6f\n" b.Parallaft.Runtime.energy_j;
+          Printf.printf "exit_status %s\n"
+            (match b.Parallaft.Runtime.exit_status with
+            | Some s -> string_of_int s
+            | None -> "none");
+          if show_output then print_string b.Parallaft.Runtime.output;
+          0
+        | Mode_parallaft | Mode_raft ->
+          let config =
+            match mode with
+            | Mode_parallaft ->
+              Parallaft.Config.parallaft ~platform ?slice_period:period ()
+            | Mode_raft | Mode_baseline -> Parallaft.Config.raft ~platform ()
+          in
+          let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
+          List.iter
+            (fun (k, v) -> Printf.printf "%s %s\n" k v)
+            (Parallaft.Stats.to_assoc r.Parallaft.Runtime.stats);
+          Printf.printf "hwmon.energy_joules %.6f\n" r.Parallaft.Runtime.energy_j;
+          List.iter
+            (fun (k, v) -> Printf.printf "hwmon.macsmc_hwmon/%s %.6f\n" k v)
+            r.Parallaft.Runtime.energy_breakdown;
+          Printf.printf "exit_status %s\n"
+            (match r.Parallaft.Runtime.exit_status with
+            | Some s -> string_of_int s
+            | None -> "none");
+          List.iter
+            (fun (seg, o) ->
+              Printf.printf "detection segment=%d %s\n" seg
+                (Parallaft.Detection.outcome_to_string o))
+            r.Parallaft.Runtime.detections;
+          if show_output then print_string r.Parallaft.Runtime.output;
+          if r.Parallaft.Runtime.detections <> [] then 3 else 0)))
+
+let platform_arg =
+  Arg.(value & opt string "apple_m2" & info [ "platform" ] ~docv:"NAME"
+         ~doc:"Platform model: apple_m2, intel_i7 or testing.")
+
+let mode_arg =
+  Arg.(value & opt string "parallaft" & info [ "mode" ] ~docv:"MODE"
+         ~doc:"baseline, parallaft or raft.")
+
+let period_arg =
+  Arg.(value & opt (some int) None & info [ "period" ] ~docv:"N"
+         ~doc:"Slicing period in platform units (cycles/instructions).")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"F"
+         ~doc:"Workload scale factor.")
+
+let workload_arg =
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME"
+         ~doc:"Benchmark name (e.g. 429.mcf or mcf) or hello/getpid.")
+
+let input_arg =
+  Arg.(value & opt int 0 & info [ "input" ] ~docv:"K" ~doc:"Input index.")
+
+let asm_arg =
+  Arg.(value & opt (some file) None & info [ "asm" ] ~docv:"FILE"
+         ~doc:"Assemble and protect this assembly file instead.")
+
+let seed_arg =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let show_output_arg =
+  Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's stdout.")
+
+let cmd =
+  let term =
+    Term.(
+      const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
+      $ input_arg $ asm_arg $ seed_arg $ show_output_arg)
+  in
+  Cmd.v
+    (Cmd.info "parallaft"
+       ~doc:"Run a program under the Parallaft fault-tolerance runtime (simulated)")
+    term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Bytes Isa List Parallaft Platform Printf String

@@ -1,0 +1,1 @@
+examples/fault_injection_demo.ml: List Option Parallaft Platform Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Parallaft Platform Printf String Util Workloads

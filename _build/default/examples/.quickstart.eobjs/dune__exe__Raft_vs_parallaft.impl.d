@@ -1,0 +1,1 @@
+examples/raft_vs_parallaft.ml: Experiments List Option Parallaft Platform Printf Util Workloads

@@ -1,0 +1,1 @@
+examples/slicing_tradeoff.ml: Experiments Float List Option Parallaft Platform Printf Workloads

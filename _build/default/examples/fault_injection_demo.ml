@@ -1,0 +1,52 @@
+(* Fault-injection demo (paper §5.6).
+
+   Run with:  dune exec examples/fault_injection_demo.exe
+
+   Injects single-event upsets — one bit flip in one register of a
+   checker — at several points and shows how Parallaft classifies each:
+   a flip in live data is caught by the segment-end state comparison
+   (Detected), a flip in a pointer usually crashes the checker
+   (Exception), a flip in a loop counter overruns the instruction budget
+   (Timeout), and a flip in a dead register is overwritten before it can
+   matter (Benign). *)
+
+let platform = Platform.apple_m2
+
+let inject ~label ~segment ~delay ~reg ~bit program =
+  let config =
+    {
+      (Parallaft.Config.parallaft ~platform ()) with
+      Parallaft.Config.fault_plan =
+        Some { Parallaft.Config.segment; delay_instructions = delay; reg; bit };
+    }
+  in
+  let r = Parallaft.Runtime.run_protected ~platform ~config ~program () in
+  let outcome =
+    match r.Parallaft.Runtime.stats.Parallaft.Stats.fi_outcome with
+    | Some o -> Parallaft.Detection.outcome_to_string o
+    | None -> "did not fire (checker finished first)"
+  in
+  Printf.printf "%-46s -> %s\n" label outcome
+
+let () =
+  let bench = Option.get (Workloads.Spec.find "mcf") in
+  let program =
+    List.hd
+      (Workloads.Spec.programs bench ~page_size:platform.Platform.page_size
+         ~scale:0.15)
+  in
+  print_endline "Injecting single bit flips into mcf's checkers:\n";
+  (* r13 = the live checksum; r15 = the chase pointer; r11 = the inner
+     loop counter; r14 = a recycled scratch register. *)
+  inject ~label:"checksum register r13, bit 5 (live data)" ~segment:1 ~delay:2000
+    ~reg:13 ~bit:5 program;
+  inject ~label:"pointer register r15, bit 40 (wild address)" ~segment:1
+    ~delay:2500 ~reg:15 ~bit:40 program;
+  inject ~label:"loop counter r11, bit 28 (control flow)" ~segment:2 ~delay:3000
+    ~reg:11 ~bit:28 program;
+  inject ~label:"scratch register r14, bit 3 (dead value)" ~segment:1 ~delay:2200
+    ~reg:14 ~bit:3 program;
+  print_endline
+    "\nEvery corrupting flip is caught before the next checkpoint: the\n\
+     paper's guarantee is detection within (segment length) x (live\n\
+     segments), with benign flips filtered out by the comparison."

@@ -1,0 +1,54 @@
+(* Quickstart: protect a program with Parallaft.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The program is a small SPEC-like workload; we run it bare, then under
+   the Parallaft runtime on the Apple M2 platform model, and show that
+   the protected run produces the same output, at what cost, and what
+   the runtime did (segments, checkpoints, comparisons). *)
+
+let () =
+  let platform = Platform.apple_m2 in
+
+  (* A benchmark from the suite, scaled down so the demo is instant. *)
+  let bench = Option.get (Workloads.Spec.find "sjeng") in
+  let program =
+    List.hd
+      (Workloads.Spec.programs bench ~page_size:platform.Platform.page_size
+         ~scale:0.1)
+  in
+
+  print_endline "== baseline (unprotected) ==";
+  let b = Parallaft.Runtime.run_baseline ~platform ~program () in
+  Printf.printf "wall time  %.3f ms\n" (float_of_int b.Parallaft.Runtime.wall_ns /. 1e6);
+  Printf.printf "energy     %.3f mJ\n" (b.Parallaft.Runtime.energy_j *. 1e3);
+
+  print_endline "\n== protected by Parallaft ==";
+  let config = Parallaft.Config.parallaft ~platform () in
+  let r = Parallaft.Runtime.run_protected ~platform ~config ~program () in
+  Printf.printf "wall time  %.3f ms  (%.1f%% overhead)\n"
+    (float_of_int r.Parallaft.Runtime.wall_ns /. 1e6)
+    (Util.Stats.percentage_overhead
+       ~baseline:(float_of_int b.Parallaft.Runtime.wall_ns)
+       ~measured:(float_of_int r.Parallaft.Runtime.wall_ns));
+  Printf.printf "energy     %.3f mJ  (%.1f%% overhead)\n"
+    (r.Parallaft.Runtime.energy_j *. 1e3)
+    (Util.Stats.percentage_overhead ~baseline:b.Parallaft.Runtime.energy_j
+       ~measured:r.Parallaft.Runtime.energy_j);
+  Printf.printf "output is %s\n"
+    (if String.equal b.Parallaft.Runtime.output r.Parallaft.Runtime.output then
+       "byte-identical to the baseline, written exactly once"
+     else "DIFFERENT (this would be a bug)");
+
+  print_endline "\n== what the runtime did ==";
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-40s %s\n" k v)
+    (Parallaft.Stats.to_assoc r.Parallaft.Runtime.stats);
+  match r.Parallaft.Runtime.detections with
+  | [] -> print_endline "\nNo divergence between main and checkers: the run is error-free."
+  | ds ->
+    List.iter
+      (fun (seg, o) ->
+        Printf.printf "\nDETECTED in segment %d: %s\n" seg
+          (Parallaft.Detection.outcome_to_string o))
+      ds

@@ -1,0 +1,1 @@
+lib/core/comparator.ml: Array Bytes Config Detection Ftr_hash Int64 List Machine Mem

@@ -1,0 +1,1 @@
+lib/core/comparator.mli: Config Detection Machine

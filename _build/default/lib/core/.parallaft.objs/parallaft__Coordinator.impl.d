@@ -1,0 +1,1 @@
+lib/core/coordinator.ml: Bytes Comparator Config Detection Dirty_tracker Exec_point Hashtbl Isa List Machine Mem Option Platform Printf Rr_log Scheduler Sim_os Stats Util

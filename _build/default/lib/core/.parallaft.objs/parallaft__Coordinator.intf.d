@@ -1,0 +1,1 @@
+lib/core/coordinator.mli: Config Detection Isa Sim_os Stats

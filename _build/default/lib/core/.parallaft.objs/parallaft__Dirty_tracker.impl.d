@@ -1,0 +1,1 @@
+lib/core/dirty_tracker.ml: Config Mem

@@ -1,0 +1,1 @@
+lib/core/exec_point.ml: Int Machine Printf

@@ -1,0 +1,1 @@
+lib/core/rr_log.ml: Array Bytes Exec_point Isa List Sim_os

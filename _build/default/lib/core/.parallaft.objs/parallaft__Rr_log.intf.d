@@ -1,0 +1,1 @@
+lib/core/rr_log.mli: Bytes Exec_point Isa Sim_os

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Coordinator Detection List Mem Sim_os Stats

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Config Coordinator Detection Isa Platform Sim_os Stats

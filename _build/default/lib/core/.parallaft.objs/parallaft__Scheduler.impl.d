@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Array Config Float List Platform Sim_os Stats

@@ -1,0 +1,99 @@
+type result =
+  | Match
+  | Mismatch of Detection.mismatch
+
+let rec union_sorted a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys ->
+    if x < y then x :: union_sorted xs b
+    else if y < x then y :: union_sorted a ys
+    else x :: union_sorted xs ys
+
+let rec dedup_sorted = function
+  | x :: (y :: _ as rest) -> if x = y then dedup_sorted rest else x :: dedup_sorted rest
+  | ([ _ ] | []) as l -> l
+
+(* The per-side hashing state: either streaming XXH64 or an FNV
+   accumulator. *)
+type hash_state =
+  | Xxh of Ftr_hash.Xxh64.state
+  | Fnv of int64 ref
+
+let make_state = function
+  | Config.Xxh64_hash -> Xxh (Ftr_hash.Xxh64.init ())
+  | Config.Fnv64_hash -> Fnv (ref 0xCBF29CE484222325L)
+
+let mix_int st v =
+  match st with
+  | Xxh s -> Ftr_hash.Xxh64.update_int64 s (Int64.of_int v)
+  | Fnv h -> h := Ftr_hash.Fnv64.combine !h (Int64.of_int v)
+
+let mix_bytes st b =
+  match st with
+  | Xxh s -> Ftr_hash.Xxh64.update s b ~pos:0 ~len:(Bytes.length b)
+  | Fnv h -> h := Ftr_hash.Fnv64.hash ~seed:!h b
+
+let digest = function
+  | Xxh s -> Ftr_hash.Xxh64.digest s
+  | Fnv h -> !h
+
+let compare_registers ~reference ~candidate =
+  let ref_regs = Machine.Cpu.snapshot_regs reference in
+  let cand_regs = Machine.Cpu.snapshot_regs candidate in
+  let mismatch = ref None in
+  Array.iteri
+    (fun i expected ->
+      if !mismatch = None && cand_regs.(i) <> expected then
+        mismatch :=
+          Some (Detection.Register_mismatch { reg = i; expected; got = cand_regs.(i) }))
+    ref_regs;
+  match !mismatch with
+  | Some m -> Some m
+  | None ->
+    let ref_pc = Machine.Cpu.get_pc reference in
+    let cand_pc = Machine.Cpu.get_pc candidate in
+    if ref_pc <> cand_pc then
+      Some (Detection.Register_mismatch { reg = -1; expected = ref_pc; got = cand_pc })
+    else None
+
+let compare_states ~hasher ~reference ~candidate ~dirty_vpns =
+  match compare_registers ~reference ~candidate with
+  | Some m -> (Mismatch m, 0)
+  | None ->
+    let vpns = dedup_sorted dirty_vpns in
+    let ref_pt =
+      Mem.Address_space.page_table (Machine.Cpu.aspace reference)
+    in
+    let cand_pt =
+      Mem.Address_space.page_table (Machine.Cpu.aspace candidate)
+    in
+    let ref_state = make_state hasher in
+    let cand_state = make_state hasher in
+    let bytes = ref 0 in
+    let layout_issue = ref None in
+    List.iter
+      (fun vpn ->
+        if !layout_issue = None then begin
+          let ref_mapped = Mem.Page_table.is_mapped ref_pt ~vpn in
+          let cand_mapped = Mem.Page_table.is_mapped cand_pt ~vpn in
+          match (ref_mapped, cand_mapped) with
+          | false, false -> ()
+          | true, false | false, true ->
+            layout_issue := Some (Detection.Layout_mismatch { vpn })
+          | true, true ->
+            let ref_page = Mem.Page_table.read_bytes_at ref_pt ~vpn in
+            let cand_page = Mem.Page_table.read_bytes_at cand_pt ~vpn in
+            mix_int ref_state vpn;
+            mix_int cand_state vpn;
+            mix_bytes ref_state ref_page;
+            mix_bytes cand_state cand_page;
+            bytes := !bytes + Bytes.length ref_page + Bytes.length cand_page
+        end)
+      vpns;
+    (match !layout_issue with
+    | Some m -> (Mismatch m, !bytes)
+    | None ->
+      let expected_hash = digest ref_state and got_hash = digest cand_state in
+      if Int64.equal expected_hash got_hash then (Match, !bytes)
+      else (Mismatch (Detection.Memory_mismatch { expected_hash; got_hash }), !bytes))

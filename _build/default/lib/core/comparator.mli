@@ -1,0 +1,32 @@
+(** Program-state comparison (§3.3, §4.4).
+
+    At the end of a segment the checker's architectural state must equal
+    the checkpoint taken when the main process crossed the same
+    boundary. Registers (including the pc) are compared directly; memory
+    is compared by hashing the contents of the modified pages on each
+    side — the "injected hasher" trick that avoids copying page contents
+    between processes — and comparing only the 64-bit digests.
+
+    Comparing a superset of the truly modified pages is sound; pages
+    missing from one side's address space are a layout divergence and
+    reported as a mismatch in their own right. *)
+
+type result =
+  | Match
+  | Mismatch of Detection.mismatch
+
+val compare_states :
+  hasher:Config.hasher ->
+  reference:Machine.Cpu.t ->
+  candidate:Machine.Cpu.t ->
+  dirty_vpns:int list ->
+  result * int
+(** [compare_states ~hasher ~reference ~candidate ~dirty_vpns] returns
+    the verdict and the number of bytes hashed (for charging the
+    injected hasher's simulated cost). [dirty_vpns] must be sorted; it is
+    deduplicated internally. Register comparison runs first — a register
+    mismatch is reported without hashing memory. *)
+
+val union_sorted : int list -> int list -> int list
+(** Merge two sorted vpn lists, removing duplicates — for combining the
+    main-side and checker-side dirty sets. *)

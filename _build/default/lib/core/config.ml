@@ -1,0 +1,85 @@
+type mode =
+  | Parallaft
+  | Raft
+
+type hasher =
+  | Xxh64_hash
+  | Fnv64_hash
+
+type dirty_backend =
+  | Soft_dirty
+  | Map_count
+  | Full_compare
+
+type fault_plan = {
+  segment : int;
+  delay_instructions : int;
+  reg : int;
+  bit : int;
+}
+
+type t = {
+  mode : mode;
+  slice_period : int;
+  timeout_scale : float;
+  max_live_segments : int;
+  migration : bool;
+  dvfs_pacing : bool;
+  hasher : hasher;
+  compare_states : bool;
+  dirty_backend : dirty_backend;
+  main_core : int;
+  checkers_on_little : bool;
+  pacer_tick_ns : int;
+  fault_plan : fault_plan option;
+  recovery : bool;
+  max_recoveries : int;
+}
+
+let default_slice_period (_ : Platform.t) = 250_000
+
+let backend_of_platform (p : Platform.t) =
+  match p.Platform.dirty_tracking with
+  | Platform.Soft_dirty -> Soft_dirty
+  | Platform.Map_count -> Map_count
+
+let parallaft ~platform ?slice_period () =
+  {
+    mode = Parallaft;
+    slice_period =
+      (match slice_period with
+      | Some p -> p
+      | None -> default_slice_period platform);
+    timeout_scale = 1.1;
+    max_live_segments = 12;
+    migration = true;
+    dvfs_pacing = true;
+    hasher = Xxh64_hash;
+    compare_states = true;
+    dirty_backend = backend_of_platform platform;
+    main_core = 0;
+    checkers_on_little = true;
+    pacer_tick_ns = 100_000;
+    fault_plan = None;
+    recovery = false;
+    max_recoveries = 3;
+  }
+
+let raft ~platform () =
+  {
+    mode = Raft;
+    slice_period = max_int / 2;
+    timeout_scale = 1.1;
+    max_live_segments = 4;
+    migration = false;
+    dvfs_pacing = false;
+    hasher = Xxh64_hash;
+    compare_states = false;
+    dirty_backend = backend_of_platform platform;
+    main_core = 0;
+    checkers_on_little = false;
+    pacer_tick_ns = 100_000;
+    fault_plan = None;
+    recovery = false;
+    max_recoveries = 3;
+  }

@@ -1,0 +1,73 @@
+(** Runtime configuration.
+
+    [parallaft ~platform ()] reproduces the paper's default setup
+    (§4-5): slicing every "5 billion" cycles (at the documented 1e-4
+    simulation scale), checkers on little cores with migration and DVFS
+    pacing, XXH64 state comparison, dirty tracking chosen per platform.
+
+    [raft ~platform ()] models RAFT exactly as §5.1 does: no periodic
+    slicing (one segment for the whole run), the checker on a big core,
+    no state comparison and no dirty-page tracking — syscall comparison
+    remains the only detection mechanism. *)
+
+type mode =
+  | Parallaft
+  | Raft
+
+type hasher =
+  | Xxh64_hash
+  | Fnv64_hash
+
+type dirty_backend =
+  | Soft_dirty  (** per-PTE dirty bits, cleared at segment start (x86_64) *)
+  | Map_count  (** PAGEMAP_SCAN-style unique-mapping query (AArch64) *)
+  | Full_compare  (** ablation: compare every mapped page *)
+
+(** Fault-injection plan for one run (§5.6): flip [bit] of [reg] in the
+    checker of segment [segment] after [delay_instructions]. *)
+type fault_plan = {
+  segment : int;  (** 0-based segment index *)
+  delay_instructions : int;
+  reg : int;
+  bit : int;
+}
+
+type t = {
+  mode : mode;
+  slice_period : int;
+      (** in the platform's slice unit (cycles on Apple, instructions on
+          Intel); ignored in RAFT mode *)
+  timeout_scale : float;  (** checker killed past [scale * main_insns] *)
+  max_live_segments : int;
+      (** main stalls at a boundary while this many segments are
+          outstanding — the detection-latency / memory bound of §3.4 *)
+  migration : bool;  (** migrate the oldest checker to a big core when
+                         little cores run out (§4.5) *)
+  dvfs_pacing : bool;  (** scale the little cluster's DVFS point *)
+  hasher : hasher;
+  compare_states : bool;
+  dirty_backend : dirty_backend;
+  main_core : int;
+  checkers_on_little : bool;
+  pacer_tick_ns : int;
+  fault_plan : fault_plan option;
+  recovery : bool;
+      (** EXTENSION (the paper's Table 2 "future work" row): on a
+          detection, roll the main process back to the last verified
+          checkpoint and re-execute, instead of terminating. Caveat
+          (shared with the paper's §3.4 discussion): externally visible
+          syscalls issued since that checkpoint are re-executed, so
+          recovery assumes buffered/reversible IO. *)
+  max_recoveries : int;
+      (** abort anyway after this many rollbacks (a persistent hard
+          fault would otherwise loop forever) *)
+}
+
+val parallaft : platform:Platform.t -> ?slice_period:int -> unit -> t
+(** Default slice period: 250_000 cycles ("5 billion" at the documented
+    5e-5 cycle scale), or the same count of instructions when the
+    platform slices by instructions. *)
+
+val raft : platform:Platform.t -> unit -> t
+
+val default_slice_period : Platform.t -> int

@@ -1,0 +1,37 @@
+(** The Parallaft coordinator (Figure 2).
+
+    One coordinator protects one program run: it spawns the main process
+    under tracing, slices its execution into segments (program slicer),
+    records every application/OS interaction into per-segment R/R logs,
+    forks checkpoint and checker processes at segment boundaries,
+    replays checkers to the recorded execution points, drives the
+    program-state comparator, schedules and paces the checkers, and
+    classifies any divergence.
+
+    The coordinator runs entirely inside tracer callbacks and pacer
+    ticks; after {!create}, stepping the engine to completion
+    ({!Sim_os.Engine.run}) performs the whole protected run. *)
+
+type t
+
+val create : Sim_os.Engine.t -> Config.t -> program:Isa.Program.t -> t
+(** Spawns the traced main process (pinned to [cfg.main_core]), forks
+    the first checker, arms the slicer, and registers the pacer tick.
+    The engine must be freshly usable; multiple coordinators on one
+    engine are not supported. *)
+
+val stats : t -> Stats.t
+val main_pid : t -> Sim_os.Engine.pid
+
+val first_error : t -> (int * Detection.outcome) option
+(** The first detection, with its segment id. The run is terminated
+    when a detection fires (the paper's response to a mismatch). *)
+
+val aborted : t -> bool
+(** True if the run was cut short (detection, or an unprotected failure
+    such as the main process dying to an unhandled signal). *)
+
+val live_pids : t -> Sim_os.Engine.pid list
+(** The main process plus all live checkers — the process set whose PSS
+    the paper's memory measurement sums (checkpoint processes excluded:
+    their private pages are swappable, §5.4). *)

@@ -1,0 +1,38 @@
+type mismatch =
+  | Register_mismatch of { reg : int; expected : int; got : int }
+  | Memory_mismatch of { expected_hash : int64; got_hash : int64 }
+  | Layout_mismatch of { vpn : int }
+  | Syscall_mismatch of { expected : string; got : string }
+  | Syscall_data_mismatch of { syscall : string }
+  | Extra_interaction of { got : string }
+  | Unexpected_fault of string
+
+type outcome =
+  | Detected of mismatch
+  | Exception_detected of string
+  | Timeout_detected
+  | Benign
+
+let mismatch_to_string = function
+  | Register_mismatch { reg; expected; got } ->
+    Printf.sprintf "register r%d: expected %d, got %d" reg expected got
+  | Memory_mismatch { expected_hash; got_hash } ->
+    Printf.sprintf "memory hash: expected %Lx, got %Lx" expected_hash got_hash
+  | Layout_mismatch { vpn } -> Printf.sprintf "address-space layout at vpn %d" vpn
+  | Syscall_mismatch { expected; got } ->
+    Printf.sprintf "syscall: expected %s, got %s" expected got
+  | Syscall_data_mismatch { syscall } ->
+    Printf.sprintf "syscall %s: argument data differs" syscall
+  | Extra_interaction { got } ->
+    Printf.sprintf "checker issued %s beyond the recorded log" got
+  | Unexpected_fault s -> Printf.sprintf "unexpected fault: %s" s
+
+let outcome_to_string = function
+  | Detected m -> "detected (" ^ mismatch_to_string m ^ ")"
+  | Exception_detected s -> "exception (" ^ s ^ ")"
+  | Timeout_detected -> "timeout"
+  | Benign -> "benign"
+
+let is_detected = function
+  | Detected _ | Exception_detected _ | Timeout_detected -> true
+  | Benign -> false

@@ -1,0 +1,26 @@
+(** Error-detection outcomes (§5.6 classification). *)
+
+type mismatch =
+  | Register_mismatch of { reg : int; expected : int; got : int }
+  | Memory_mismatch of { expected_hash : int64; got_hash : int64 }
+  | Layout_mismatch of { vpn : int }
+      (** a page mapped on one side of the comparison only *)
+  | Syscall_mismatch of { expected : string; got : string }
+  | Syscall_data_mismatch of { syscall : string }
+  | Extra_interaction of { got : string }
+      (** the checker interacted when the log was exhausted *)
+  | Unexpected_fault of string
+
+type outcome =
+  | Detected of mismatch  (** caught at a segment-end comparison or a
+                              syscall check *)
+  | Exception_detected of string  (** the fault crashed the checker *)
+  | Timeout_detected  (** the checker overran the instruction budget *)
+  | Benign  (** the run completed with all comparisons passing *)
+
+val mismatch_to_string : mismatch -> string
+val outcome_to_string : outcome -> string
+
+val is_detected : outcome -> bool
+(** Everything except [Benign] counts as detection (exceptions and
+    timeouts are detection subclasses in the paper's Figure 10). *)

@@ -1,0 +1,95 @@
+type t = {
+  branches : int;
+  pc : int;
+}
+
+let compare a b =
+  match Int.compare a.branches b.branches with
+  | 0 -> Int.compare a.pc b.pc
+  | c -> c
+
+let to_string t = Printf.sprintf "{branches=%d; pc=%d}" t.branches t.pc
+
+type replay = {
+  cpu : Machine.Cpu.t;
+  mutable queue : t list;
+  mutable bp_at : int option;
+}
+
+type advance =
+  | Keep_running
+  | Reached of t
+
+let clear_bp r =
+  match r.bp_at with
+  | Some pc ->
+    Machine.Cpu.clear_breakpoint r.cpu pc;
+    r.bp_at <- None
+  | None -> ()
+
+let enable_bp r pc =
+  clear_bp r;
+  Machine.Cpu.set_breakpoint r.cpu pc;
+  r.bp_at <- Some pc
+
+(* Arm for the head of the queue. If the target is more than a skid
+   margin of branches away, use the (cheap) counter overflow first;
+   otherwise go straight to breakpoint filtering. *)
+let arm r =
+  match r.queue with
+  | [] ->
+    clear_bp r;
+    Machine.Cpu.disarm_branch_overflow r.cpu
+  | target :: _ ->
+    let margin = Machine.Cpu.max_skid r.cpu + 1 in
+    let remaining = target.branches - Machine.Cpu.branches r.cpu in
+    if remaining > margin then begin
+      clear_bp r;
+      Machine.Cpu.arm_branch_overflow r.cpu ~target:(target.branches - margin)
+    end
+    else enable_bp r target.pc
+
+let start_replay ~targets ~cpu =
+  (* Targets must be in temporal order: branch counts nondecreasing. The
+     pc gives no ordering information — several points can share one
+     branch count (e.g. signals landing back-to-back, or inside a signal
+     handler) and are simply replayed in record order. *)
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      if a.branches > b.branches then
+        invalid_arg "Exec_point.start_replay: unsorted targets";
+      check_sorted rest
+    | [ _ ] | [] -> ()
+  in
+  check_sorted targets;
+  let r = { cpu; queue = targets; bp_at = None } in
+  arm r;
+  r
+
+(* Whether the checker currently rests exactly on the head target. *)
+let at_head r =
+  match r.queue with
+  | [] -> None
+  | target :: _ ->
+    if
+      Machine.Cpu.branches r.cpu = target.branches
+      && Machine.Cpu.get_pc r.cpu = target.pc
+    then Some target
+    else None
+
+let on_branch_overflow r =
+  (match r.queue with
+  | target :: _ -> enable_bp r target.pc
+  | [] -> ());
+  match at_head r with Some t -> Reached t | None -> Keep_running
+
+let on_breakpoint r =
+  match at_head r with Some t -> Reached t | None -> Keep_running
+
+let next_target r =
+  (match r.queue with [] -> () | _ :: rest -> r.queue <- rest);
+  arm r
+
+let poll r = match at_head r with Some t -> Reached t | None -> Keep_running
+
+let finished r = r.queue = []

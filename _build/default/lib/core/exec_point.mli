@@ -1,0 +1,55 @@
+(** Execution points and their record-and-replay (§4.2).
+
+    An execution point is a (retired-branch count, pc) pair, measured
+    from the start of a segment. A pc alone cannot identify a dynamic
+    instruction (it may sit in a loop); the branch count disambiguates
+    the iteration, and between two branches a pc is visited at most once
+    (straight-line code cannot revisit an address), so the pair is exact.
+
+    Replay drives a checker to an execution point using the branch
+    counter's overflow interrupt plus a breakpoint, with a skid buffer:
+    the counter is armed [margin] branches {e early} (skid only ever
+    delays the interrupt), then the breakpoint filters visits of the
+    target pc until the branch count matches. *)
+
+type t = {
+  branches : int;  (** branch count relative to segment start *)
+  pc : int;
+}
+
+val compare : t -> t -> int
+(** Order by branch count, then pc — the order points occur in within a
+    segment. *)
+
+val to_string : t -> string
+
+(** Replay driver for one checker CPU working through an ordered queue
+    of target points. *)
+type replay
+
+val start_replay : targets:t list -> cpu:Machine.Cpu.t -> replay
+(** [targets] must be sorted ({!compare}) and is consumed in order;
+    arming begins immediately on [cpu] (whose counters must read zero at
+    the segment-relative origin, i.e. a freshly forked checker). *)
+
+type advance =
+  | Keep_running  (** not there yet; resume the checker *)
+  | Reached of t  (** the checker now rests exactly on this target *)
+
+val on_branch_overflow : replay -> advance
+(** Handle the counter-overflow stop: enables the breakpoint phase. *)
+
+val on_breakpoint : replay -> advance
+(** Handle a breakpoint stop: compares the branch counter with the
+    target. After [Reached], call {!next_target} to continue with the
+    rest of the queue. *)
+
+val next_target : replay -> unit
+(** Arm for the following target (no-op if the queue is empty). *)
+
+val poll : replay -> advance
+(** Re-check without a stop event — used after {!next_target} when
+    several targets share one execution point (e.g. a signal delivered
+    exactly at a segment boundary). *)
+
+val finished : replay -> bool

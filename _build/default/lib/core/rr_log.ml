@@ -1,0 +1,80 @@
+type mem_effect = {
+  addr : int;
+  data : Bytes.t;
+}
+
+type sys_record = {
+  call : Sim_os.Syscall.call;
+  in_data : Bytes.t option;
+  result : int;
+  effects : mem_effect list;
+}
+
+type event =
+  | Sys of sys_record
+  | Nondet of {
+      insn : Isa.Insn.t;
+      value : int;
+    }
+  | Ext_signal of {
+      at : Exec_point.t;
+      signum : Sim_os.Sig_num.t;
+    }
+
+(* Growable array: cursors index into it, so the log can keep growing
+   while a checker replays (the RAFT streaming mode). *)
+type t = {
+  mutable arr : event array;
+  mutable n : int;
+}
+
+let placeholder = Nondet { insn = Isa.Insn.Nop; value = 0 }
+
+let create () = { arr = Array.make 16 placeholder; n = 0 }
+
+let record t ev =
+  if t.n = Array.length t.arr then begin
+    let grown = Array.make (2 * t.n) placeholder in
+    Array.blit t.arr 0 grown 0 t.n;
+    t.arr <- grown
+  end;
+  t.arr.(t.n) <- ev;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let events t = Array.to_list (Array.sub t.arr 0 t.n)
+
+let signal_points t =
+  List.filter_map
+    (function
+      | Ext_signal { at; signum } -> Some (at, signum)
+      | Sys _ | Nondet _ -> None)
+    (events t)
+
+type cursor = {
+  log : t;
+  mutable idx : int;
+}
+
+let cursor t = { log = t; idx = 0 }
+
+let rec next_interaction c =
+  if c.idx >= c.log.n then None
+  else
+    match c.log.arr.(c.idx) with
+    | Ext_signal _ ->
+      c.idx <- c.idx + 1;
+      next_interaction c
+    | (Sys _ | Nondet _) as ev ->
+      c.idx <- c.idx + 1;
+      Some ev
+
+let remaining_interactions c =
+  let count = ref 0 in
+  for i = c.idx to c.log.n - 1 do
+    match c.log.arr.(i) with
+    | Sys _ | Nondet _ -> incr count
+    | Ext_signal _ -> ()
+  done;
+  !count

@@ -1,0 +1,70 @@
+module E = Sim_os.Engine
+
+type report = {
+  stats : Stats.t;
+  detections : (int * Detection.outcome) list;
+  aborted : bool;
+  exit_status : int option;
+  output : string;
+  wall_ns : int;
+  energy_j : float;
+  energy_breakdown : (string * float) list;
+  runtime_work_ns : float;
+  cow_copies : int;
+  dram_accesses : int;
+}
+
+type baseline = {
+  wall_ns : int;
+  user_ns : float;
+  sys_ns : float;
+  energy_j : float;
+  output : string;
+  exit_status : int option;
+}
+
+let max_sim_ns = 2_000_000_000 (* 2 simulated seconds: a generous hang bound *)
+
+let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
+  let eng = E.create ~platform ~seed () in
+  let coord = Coordinator.create eng config ~program in
+  (match before_run with Some f -> f eng coord | None -> ());
+  E.run ~max_ns:max_sim_ns eng;
+  let stats = Coordinator.stats coord in
+  stats.Stats.all_wall_ns <- float_of_int (E.now_ns eng);
+  let exit_status =
+    match E.state eng (Coordinator.main_pid coord) with
+    | E.Exited s -> Some s
+    | E.Runnable | E.Stopped -> None
+  in
+  {
+    stats;
+    detections = List.rev stats.Stats.detections;
+    aborted = Coordinator.aborted coord;
+    exit_status;
+    output = E.output eng;
+    wall_ns = E.now_ns eng;
+    energy_j = E.energy_j eng;
+    energy_breakdown = E.energy_breakdown_j eng;
+    runtime_work_ns = E.runtime_work_ns eng;
+    cow_copies = Mem.Frame.copies (E.frame_allocator eng);
+    dram_accesses = E.dram_accesses eng;
+  }
+
+let run_baseline ?(seed = 42L) ?before_run ~platform ~program () =
+  let eng = E.create ~platform ~seed () in
+  let pid = E.spawn eng ~program ~core:0 () in
+  (match before_run with Some f -> f eng pid | None -> ());
+  E.run ~max_ns:max_sim_ns eng;
+  let st = E.proc_stats eng pid in
+  {
+    wall_ns = st.E.ended_ns - st.E.started_ns;
+    user_ns = st.E.user_ns;
+    sys_ns = st.E.sys_ns;
+    energy_j = E.energy_j eng;
+    output = E.output eng;
+    exit_status =
+      (match st.E.state with
+      | E.Exited s -> Some s
+      | E.Runnable | E.Stopped -> None);
+  }

@@ -1,0 +1,46 @@
+(** Top-level entry points: run a program under Parallaft/RAFT, or bare
+    for a baseline measurement. Each run gets a fresh engine, so runs
+    are independent and reproducible from their seed. *)
+
+type report = {
+  stats : Stats.t;
+  detections : (int * Detection.outcome) list;  (** oldest first *)
+  aborted : bool;
+  exit_status : int option;  (** main's status; [None] if it never exited *)
+  output : string;  (** captured stdout *)
+  wall_ns : int;
+  energy_j : float;
+  energy_breakdown : (string * float) list;
+  runtime_work_ns : float;
+  cow_copies : int;
+  dram_accesses : int;
+}
+
+type baseline = {
+  wall_ns : int;
+  user_ns : float;
+  sys_ns : float;
+  energy_j : float;
+  output : string;
+  exit_status : int option;
+}
+
+val run_protected :
+  ?seed:int64 ->
+  ?before_run:(Sim_os.Engine.t -> Coordinator.t -> unit) ->
+  platform:Platform.t ->
+  config:Config.t ->
+  program:Isa.Program.t ->
+  unit ->
+  report
+(** [before_run] runs after the coordinator is set up but before the
+    simulation — the hook for registering measurement ticks (PSS/power
+    samplers) or external-signal drivers. *)
+
+val run_baseline :
+  ?seed:int64 ->
+  ?before_run:(Sim_os.Engine.t -> Sim_os.Engine.pid -> unit) ->
+  platform:Platform.t ->
+  program:Isa.Program.t ->
+  unit ->
+  baseline

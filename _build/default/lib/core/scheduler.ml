@@ -1,0 +1,198 @@
+type entry = {
+  pid : Sim_os.Engine.pid;
+  mutable core : int;
+  mutable last_cpu_ns : float;  (* user+sys at the last accounting point *)
+}
+
+type t = {
+  eng : Sim_os.Engine.t;
+  cfg : Config.t;
+  stats : Stats.t;
+  little : int list;
+  big_pool : int list;  (* big cores available to checkers (not the main's) *)
+  mutable free_little : int list;
+  mutable free_big : int list;
+  mutable running : entry list;  (* oldest first *)
+  mutable queued : Sim_os.Engine.pid list;  (* oldest first *)
+  mutable main_exited : bool;
+  mutable main_held : bool;
+  mutable idle_ticks : int;
+}
+
+let create eng cfg stats =
+  let little = Sim_os.Engine.little_cores eng in
+  let big_pool =
+    List.filter (fun c -> c <> cfg.Config.main_core) (Sim_os.Engine.big_cores eng)
+  in
+  {
+    eng;
+    cfg;
+    stats;
+    little;
+    big_pool;
+    free_little = little;
+    free_big = big_pool;
+    running = [];
+    queued = [];
+    main_exited = false;
+    main_held = false;
+    idle_ticks = 0;
+  }
+
+let is_little t core = List.mem core t.little
+
+let cpu_ns t pid =
+  let st = Sim_os.Engine.proc_stats t.eng pid in
+  st.Sim_os.Engine.user_ns +. st.Sim_os.Engine.sys_ns
+
+(* Account the CPU time an entry consumed since the last accounting
+   point to the bucket of the core class it was running on. *)
+let account t e =
+  let now = cpu_ns t e.pid in
+  let delta = Float.max 0.0 (now -. e.last_cpu_ns) in
+  e.last_cpu_ns <- now;
+  if is_little t e.core then
+    t.stats.Stats.checker_little_ns <- t.stats.Stats.checker_little_ns +. delta
+  else t.stats.Stats.checker_big_ns <- t.stats.Stats.checker_big_ns +. delta
+
+let take_core t =
+  (* Preference order: little cores (unless configured otherwise), then —
+     once the main has exited — big cores to drain the backlog fast. *)
+  if t.cfg.Config.checkers_on_little then
+    match t.free_little with
+    | c :: rest ->
+      t.free_little <- rest;
+      Some c
+    | [] ->
+      if t.main_exited then
+        match t.free_big with
+        | c :: rest ->
+          t.free_big <- rest;
+          Some c
+        | [] -> None
+      else None
+  else
+    match t.free_big with
+    | c :: rest ->
+      t.free_big <- rest;
+      Some c
+    | [] -> None
+
+let release_core t core =
+  if is_little t core then t.free_little <- core :: t.free_little
+  else if List.mem core t.big_pool then t.free_big <- core :: t.free_big
+
+let start_on t pid core =
+  Sim_os.Engine.set_core t.eng pid ~core;
+  t.running <- t.running @ [ { pid; core; last_cpu_ns = cpu_ns t pid } ];
+  Sim_os.Engine.resume t.eng pid
+
+(* Migrate the oldest little-core checker to a free big core; returns the
+   freed little core. *)
+let migrate_oldest_to_big t =
+  match t.free_big with
+  | [] -> None
+  | big :: rest_big -> (
+    match List.find_opt (fun e -> is_little t e.core) t.running with
+    | None -> None
+    | Some e ->
+      t.free_big <- rest_big;
+      account t e;
+      let freed = e.core in
+      e.core <- big;
+      Sim_os.Engine.set_core t.eng e.pid ~core:big;
+      t.stats.Stats.migrations <- t.stats.Stats.migrations + 1;
+      Some freed)
+
+let rec try_dispatch t =
+  match t.queued with
+  | [] -> ()
+  | pid :: rest -> (
+    match take_core t with
+    | Some core ->
+      t.queued <- rest;
+      start_on t pid core;
+      try_dispatch t
+    | None ->
+      if
+        t.cfg.Config.migration && t.cfg.Config.checkers_on_little
+        && not t.main_exited
+      then
+        match migrate_oldest_to_big t with
+        | Some freed ->
+          t.queued <- rest;
+          start_on t pid freed;
+          try_dispatch t
+        | None -> ())
+
+let enqueue t pid =
+  t.queued <- t.queued @ [ pid ];
+  try_dispatch t
+
+let finished t pid =
+  match List.partition (fun e -> e.pid = pid) t.running with
+  | [ e ], rest ->
+    account t e;
+    t.running <- rest;
+    release_core t e.core;
+    try_dispatch t
+  | _, _ -> t.queued <- List.filter (fun q -> q <> pid) t.queued
+
+let on_main_exit t =
+  t.main_exited <- true;
+  (* Late checkers finish on big cores (§4.5). *)
+  if t.cfg.Config.migration then begin
+    let continue_migrating = ref true in
+    while !continue_migrating do
+      match migrate_oldest_to_big t with
+      | Some freed ->
+        release_core t freed;
+        ()
+      | None -> continue_migrating := false
+    done
+  end;
+  try_dispatch t
+
+let set_main_held t held = t.main_held <- held
+
+let queued_count t = List.length t.queued
+let running_count t = List.length t.running
+
+let pacer_tick t =
+  List.iter (fun e -> account t e) t.running;
+  if t.cfg.Config.dvfs_pacing then begin
+    let level = Sim_os.Engine.dvfs_level t.eng ~cluster:1 in
+    let top =
+      Array.length
+        (Platform.little_cluster (Sim_os.Engine.platform t.eng)).Platform.freq_levels_mhz
+      - 1
+    in
+    (* The control variable is the checker backlog: segments whose
+       checkers have not completed. Holding it near 1-2 keeps detection
+       latency and the end-of-run drain ("last-checker sync") small
+       while letting the cluster idle down when checkers are fast. *)
+    let outstanding = queued_count t + running_count t in
+    let littles_running =
+      List.length (List.filter (fun e -> is_little t e.core) t.running)
+    in
+    let idle_littles = List.length t.little - littles_running in
+    if t.main_exited then begin
+      t.idle_ticks <- 0;
+      (* Drain the tail at full speed (checkers also migrate to big). *)
+      Sim_os.Engine.set_dvfs_level t.eng ~cluster:1 ~level:top
+    end
+    else if t.main_held || outstanding > 3 then begin
+      t.idle_ticks <- 0;
+      let step = if t.main_held then 2 else 1 in
+      Sim_os.Engine.set_dvfs_level t.eng ~cluster:1 ~level:(min top (level + step))
+    end
+    else if outstanding <= 2 && (idle_littles > 0 || outstanding <= 1) then begin
+      (* Only step down after sustained slack, to avoid oscillation. *)
+      t.idle_ticks <- t.idle_ticks + 1;
+      if t.idle_ticks >= 2 && level > 0 then begin
+        Sim_os.Engine.set_dvfs_level t.eng ~cluster:1 ~level:(level - 1);
+        t.idle_ticks <- 0
+      end
+    end
+    else t.idle_ticks <- 0
+  end

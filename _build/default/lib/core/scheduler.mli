@@ -1,0 +1,41 @@
+(** Checker execution scheduling and pacing (§4.5).
+
+    Placement policy:
+    - a ready checker takes a free little core (or a free big core in
+      RAFT mode / when [checkers_on_little] is off);
+    - if little cores are exhausted and migration is enabled, the
+      {e oldest} running checker is migrated to a free big core,
+      freeing a little core for the newest checker (Figure 4);
+    - when the main process exits, remaining checkers are migrated to
+      big cores to finish quickly;
+    - otherwise the checker queues.
+
+    Pacing policy: a periodic tick adjusts the little cluster's DVFS
+    level — up under backlog pressure (queued checkers or a stalled
+    main), down when little cores sit idle — so the cluster provides
+    "just enough" throughput. *)
+
+type t
+
+val create :
+  Sim_os.Engine.t -> Config.t -> Stats.t -> t
+
+val enqueue : t -> Sim_os.Engine.pid -> unit
+(** Hand over a ready (stopped, fully armed) checker; it is resumed as
+    soon as it gets a core. *)
+
+val finished : t -> Sim_os.Engine.pid -> unit
+(** The checker completed (or was killed): frees its core, accounts its
+    CPU time to the big/little buckets, schedules the next queued
+    checker. Safe to call for a pid the scheduler never saw (no-op). *)
+
+val on_main_exit : t -> unit
+
+val set_main_held : t -> bool -> unit
+(** Tell the pacer the main process is stalled on [max_live_segments] —
+    the strongest signal to raise the little-cluster frequency. *)
+
+val pacer_tick : t -> unit
+
+val queued_count : t -> int
+val running_count : t -> int

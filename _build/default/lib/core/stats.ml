@@ -1,0 +1,78 @@
+type t = {
+  mutable checkpoint_count : int;
+  mutable nr_slices : int;
+  mutable segments_total : int;
+  mutable segments_compared : int;
+  mutable dirty_pages_total : int;
+  mutable bytes_hashed : int;
+  mutable syscalls_recorded : int;
+  mutable nondet_recorded : int;
+  mutable signals_recorded : int;
+  mutable migrations : int;
+  mutable checker_big_ns : float;
+  mutable checker_little_ns : float;
+  mutable main_wall_ns : float;
+  mutable all_wall_ns : float;
+  mutable main_user_ns : float;
+  mutable main_sys_ns : float;
+  mutable detections : (int * Detection.outcome) list;
+  mutable fi_outcome : Detection.outcome option;
+  mutable fi_fired : bool;
+  mutable segment_insn_deltas : int list;
+  mutable recoveries : int;
+}
+
+let create () =
+  {
+    checkpoint_count = 0;
+    nr_slices = 0;
+    segments_total = 0;
+    segments_compared = 0;
+    dirty_pages_total = 0;
+    bytes_hashed = 0;
+    syscalls_recorded = 0;
+    nondet_recorded = 0;
+    signals_recorded = 0;
+    migrations = 0;
+    checker_big_ns = 0.0;
+    checker_little_ns = 0.0;
+    main_wall_ns = 0.0;
+    all_wall_ns = 0.0;
+    main_user_ns = 0.0;
+    main_sys_ns = 0.0;
+    detections = [];
+    fi_outcome = None;
+    fi_fired = false;
+    segment_insn_deltas = [];
+    recoveries = 0;
+  }
+
+let record_detection t ~segment outcome =
+  t.detections <- (segment, outcome) :: t.detections
+
+let big_core_work_fraction t =
+  let total = t.checker_big_ns +. t.checker_little_ns in
+  if total <= 0.0 then 0.0 else t.checker_big_ns /. total
+
+let to_assoc t =
+  let f = Printf.sprintf "%.0f" in
+  [
+    ("timing.all_wall_time", f t.all_wall_ns);
+    ("timing.main_wall_time", f t.main_wall_ns);
+    ("timing.main_user_time", f t.main_user_ns);
+    ("timing.main_sys_time", f t.main_sys_ns);
+    ("counter.checkpoint_count", string_of_int t.checkpoint_count);
+    ("fixed_interval_slicer.nr_slices", string_of_int t.nr_slices);
+    ("segments.total", string_of_int t.segments_total);
+    ("segments.compared", string_of_int t.segments_compared);
+    ("comparator.dirty_pages", string_of_int t.dirty_pages_total);
+    ("comparator.bytes_hashed", string_of_int t.bytes_hashed);
+    ("rr.syscalls", string_of_int t.syscalls_recorded);
+    ("rr.nondet_instructions", string_of_int t.nondet_recorded);
+    ("rr.signals", string_of_int t.signals_recorded);
+    ("scheduler.migrations", string_of_int t.migrations);
+    ( "scheduler.big_core_work_fraction",
+      Printf.sprintf "%.3f" (big_core_work_fraction t) );
+    ("detections", string_of_int (List.length t.detections));
+    ("recovery.rollbacks", string_of_int t.recoveries);
+  ]

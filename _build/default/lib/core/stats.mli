@@ -1,0 +1,43 @@
+(** Run statistics, mirroring the artifact's statistics dump
+    (timing.all_wall_time, counter.checkpoint_count,
+    fixed_interval_slicer.nr_slices, ...). *)
+
+type t = {
+  mutable checkpoint_count : int;
+      (** forks taken: checkers + end snapshots + mmap-split extras *)
+  mutable nr_slices : int;  (** segments created by the periodic slicer *)
+  mutable segments_total : int;
+  mutable segments_compared : int;
+  mutable dirty_pages_total : int;
+  mutable bytes_hashed : int;
+  mutable syscalls_recorded : int;
+  mutable nondet_recorded : int;
+  mutable signals_recorded : int;
+  mutable migrations : int;
+  mutable checker_big_ns : float;
+      (** checker CPU time spent while placed on big cores *)
+  mutable checker_little_ns : float;
+  mutable main_wall_ns : float;
+  mutable all_wall_ns : float;
+  mutable main_user_ns : float;
+  mutable main_sys_ns : float;
+  mutable detections : (int * Detection.outcome) list;
+      (** (segment id, outcome); detections only, newest first *)
+  mutable fi_outcome : Detection.outcome option;
+      (** classification of the armed fault injection, once known *)
+  mutable fi_fired : bool;
+  mutable segment_insn_deltas : int list;  (** newest first *)
+  mutable recoveries : int;
+      (** rollbacks performed by the recovery extension *)
+}
+
+val create : unit -> t
+
+val record_detection : t -> segment:int -> Detection.outcome -> unit
+
+val big_core_work_fraction : t -> float
+(** Fraction of checker CPU time spent on big cores (the §5.2.1 "41.7%
+    of work on big cores" metric). *)
+
+val to_assoc : t -> (string * string) list
+(** Artifact-style key/value dump. *)

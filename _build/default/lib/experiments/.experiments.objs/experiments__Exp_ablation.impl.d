@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: List Measure Parallaft Platform Printf Util Workloads

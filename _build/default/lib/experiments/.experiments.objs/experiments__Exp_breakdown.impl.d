@@ -1,0 +1,1 @@
+lib/experiments/exp_breakdown.ml: Float List Measure Printf Suite Util

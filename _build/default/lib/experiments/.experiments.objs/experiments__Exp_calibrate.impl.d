@@ -1,0 +1,1 @@
+lib/experiments/exp_calibrate.ml: Bytes Isa List Platform Printf Sim_os Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_energy.ml: List Measure Printf Suite Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_fault_injection.ml: Array Isa List Measure Parallaft Platform Printf Suite Util Workloads

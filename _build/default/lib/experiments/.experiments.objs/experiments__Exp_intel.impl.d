@@ -1,0 +1,1 @@
+lib/experiments/exp_intel.ml: List Platform Printf Suite Util

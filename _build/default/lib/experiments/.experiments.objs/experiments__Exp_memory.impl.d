@@ -1,0 +1,1 @@
+lib/experiments/exp_memory.ml: List Printf Suite Util

@@ -1,0 +1,1 @@
+lib/experiments/exp_overhead.ml: List Printf Suite Util

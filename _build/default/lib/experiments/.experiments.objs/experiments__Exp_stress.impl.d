@@ -1,0 +1,1 @@
+lib/experiments/exp_stress.ml: Parallaft Platform Printf Sim_os Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_sweep.ml: Float List Measure Parallaft Printf Util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/exp_tables.ml: List Printf Suite Util

@@ -1,0 +1,1 @@
+lib/experiments/measure.ml: Int64 List Parallaft Platform Sim_os Sys Util Workloads

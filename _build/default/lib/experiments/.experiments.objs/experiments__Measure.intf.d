@@ -1,0 +1,1 @@
+lib/experiments/measure.mli: Isa Parallaft Platform Workloads

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Exp_ablation Exp_breakdown Exp_calibrate Exp_energy Exp_fault_injection Exp_intel Exp_memory Exp_overhead Exp_stress Exp_sweep Exp_tables List Measure Platform Printf

@@ -1,0 +1,1 @@
+lib/experiments/suite.ml: Hashtbl List Measure Parallaft Platform Printf String Util Workloads

@@ -1,0 +1,41 @@
+(* Figure 7: energy overhead of Parallaft and RAFT. Paper: Parallaft
+   44.3% — about half of RAFT's 87.8% — with lbm the one benchmark where
+   Parallaft costs more than RAFT (its checkers do ~half their work on
+   big cores). *)
+
+let run ~platform ~scale ~quick =
+  let rows = Suite.get ~platform ~scale ~quick in
+  let chart_rows =
+    List.map
+      (fun r ->
+        ( Suite.short_name r.Suite.bench,
+          [
+            (Suite.energy_norm_parallaft r -. 1.0) *. 100.0;
+            (Suite.energy_norm_raft r -. 1.0) *. 100.0;
+          ] ))
+      rows
+    @ [
+        ( "geomean",
+          [
+            Suite.geomean_overhead_pct Suite.energy_norm_parallaft rows;
+            Suite.geomean_overhead_pct Suite.energy_norm_raft rows;
+          ] );
+      ]
+  in
+  print_string
+    (Util.Table.grouped_bar_chart ~group_labels:[ "Parallaft"; "RAFT" ] chart_rows);
+  Printf.printf
+    "\nGeomean energy overhead: Parallaft %.1f%%, RAFT %.1f%% (paper: 44.3%% / 87.8%%)\n"
+    (Suite.geomean_overhead_pct Suite.energy_norm_parallaft rows)
+    (Suite.geomean_overhead_pct Suite.energy_norm_raft rows);
+  (* The §5.2/§5.3 migration story: which benchmarks push checker work
+     onto big cores. *)
+  Printf.printf "\nChecker work done on big cores (migration, §4.5):\n";
+  List.iter
+    (fun r ->
+      let frac = r.Suite.parallaft.Measure.big_core_work_fraction in
+      if frac > 0.01 then
+        Printf.printf "  %-12s %4.1f%%  (%d migrations)\n"
+          (Suite.short_name r.Suite.bench)
+          (100.0 *. frac) r.Suite.parallaft.Measure.migrations)
+    rows

@@ -1,0 +1,30 @@
+(* Section 5.8: the Intel x86_64 hybrid platform. Smaller (4 KiB) pages
+   make checkpointing more expensive and the shared voltage rail erases
+   most of the little cores' energy advantage: Parallaft's performance
+   overhead exceeds RAFT's (paper: 26.2% vs 12.9%) while its energy
+   overhead stays slightly better (46.7% vs 50.2%). Slicing is by
+   instruction count on this platform (rep-prefix caveat, §5.8). *)
+
+let run ~scale ~quick =
+  let platform = Platform.intel_i7 in
+  let rows = Suite.get ~platform ~scale ~quick in
+  Util.Table.print
+    ~header:[ "benchmark"; "parallaft perf%"; "raft perf%"; "parallaft energy%"; "raft energy%" ]
+    (List.map
+       (fun r ->
+         [
+           Suite.short_name r.Suite.bench;
+           Printf.sprintf "%.1f" ((Suite.perf_norm_parallaft r -. 1.0) *. 100.0);
+           Printf.sprintf "%.1f" ((Suite.perf_norm_raft r -. 1.0) *. 100.0);
+           Printf.sprintf "%.1f" ((Suite.energy_norm_parallaft r -. 1.0) *. 100.0);
+           Printf.sprintf "%.1f" ((Suite.energy_norm_raft r -. 1.0) *. 100.0);
+         ])
+       rows);
+  Printf.printf
+    "\nGeomean perf overhead:   Parallaft %.1f%%, RAFT %.1f%% (paper: 26.2%% / 12.9%%)\n"
+    (Suite.geomean_overhead_pct Suite.perf_norm_parallaft rows)
+    (Suite.geomean_overhead_pct Suite.perf_norm_raft rows);
+  Printf.printf
+    "Geomean energy overhead: Parallaft %.1f%%, RAFT %.1f%% (paper: 46.7%% / 50.2%%)\n"
+    (Suite.geomean_overhead_pct Suite.energy_norm_parallaft rows)
+    (Suite.geomean_overhead_pct Suite.energy_norm_raft rows)

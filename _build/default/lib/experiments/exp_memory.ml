@@ -1,0 +1,26 @@
+(* Figure 8: normalized memory usage (PSS of main + checkers + runtime,
+   sampled periodically, checkpoints excluded). Paper: geomean 3.32x for
+   Parallaft vs 1.95x for RAFT. *)
+
+let run ~platform ~scale ~quick =
+  let rows = Suite.get ~platform ~scale ~quick in
+  let chart_rows =
+    List.map
+      (fun r ->
+        ( Suite.short_name r.Suite.bench,
+          [ Suite.memory_norm_parallaft r; Suite.memory_norm_raft r ] ))
+      rows
+    @ [
+        ( "geomean",
+          [
+            Util.Stats.geomean (List.map Suite.memory_norm_parallaft rows);
+            Util.Stats.geomean (List.map Suite.memory_norm_raft rows);
+          ] );
+      ]
+  in
+  print_string
+    (Util.Table.grouped_bar_chart ~group_labels:[ "Parallaft"; "RAFT" ] chart_rows);
+  Printf.printf
+    "\nGeomean normalized memory: Parallaft %.2fx, RAFT %.2fx (paper: 3.32x / 1.95x)\n"
+    (Util.Stats.geomean (List.map Suite.memory_norm_parallaft rows))
+    (Util.Stats.geomean (List.map Suite.memory_norm_raft rows))

@@ -1,0 +1,28 @@
+(* Figure 5: performance overhead of Parallaft and RAFT, per benchmark
+   plus geometric mean. Paper: Parallaft 15.9% vs RAFT 16.2%. *)
+
+let run ~platform ~scale ~quick =
+  let rows = Suite.get ~platform ~scale ~quick in
+  let chart_rows =
+    List.map
+      (fun r ->
+        ( Suite.short_name r.Suite.bench,
+          [
+            (Suite.perf_norm_parallaft r -. 1.0) *. 100.0;
+            (Suite.perf_norm_raft r -. 1.0) *. 100.0;
+          ] ))
+      rows
+    @ [
+        ( "geomean",
+          [
+            Suite.geomean_overhead_pct Suite.perf_norm_parallaft rows;
+            Suite.geomean_overhead_pct Suite.perf_norm_raft rows;
+          ] );
+      ]
+  in
+  print_string
+    (Util.Table.grouped_bar_chart ~group_labels:[ "Parallaft"; "RAFT" ] chart_rows);
+  Printf.printf
+    "\nGeomean overhead: Parallaft %.1f%%, RAFT %.1f%% (paper: 15.9%% / 16.2%%)\n"
+    (Suite.geomean_overhead_pct Suite.perf_norm_parallaft rows)
+    (Suite.geomean_overhead_pct Suite.perf_norm_raft rows)

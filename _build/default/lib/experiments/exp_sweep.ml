@@ -1,0 +1,76 @@
+(* Figure 9: slicing-period sensitivity on gcc, mcf and sjeng.
+   Periods map the paper's 1B..20B cycles through the 5e-5 scale to
+   50k..1M simulated cycles. Expected shapes: (a) fork+COW overhead
+   falls with the period, steepest for mcf; (b) last-checker-sync
+   overhead rises, steepest for gcc (short inputs) and mcf (slow
+   checkers); (c) their sum has a per-benchmark sweet spot. *)
+
+let periods = [ ("1B", 50_000); ("2B", 100_000); ("5B", 250_000);
+                ("10B", 500_000); ("20B", 1_000_000) ]
+
+let benchmarks = [ "403.gcc"; "429.mcf"; "458.sjeng" ]
+
+type point = {
+  fork_cow : float;
+  sync : float;
+  total : float;
+}
+
+let measure_point ~platform ~scale bench period =
+  let baseline = Measure.run_benchmark ~platform ~mode:Measure.Baseline ~scale bench in
+  let config = Parallaft.Config.parallaft ~platform ~slice_period:period () in
+  let p =
+    Measure.run_benchmark ~platform ~mode:(Measure.Protected config) ~scale bench
+  in
+  let wall0 = baseline.Measure.wall_ns in
+  let pct x = Float.max 0.0 (100.0 *. x /. wall0) in
+  {
+    fork_cow = pct (p.Measure.main_sys_ns -. baseline.Measure.main_sys_ns);
+    sync = pct (p.Measure.wall_ns -. p.Measure.main_wall_ns);
+    total = pct (p.Measure.wall_ns -. wall0);
+  }
+
+let run ~platform ~scale =
+  let table =
+    List.map
+      (fun name ->
+        let bench =
+          match Workloads.Spec.find name with
+          | Some b -> b
+          | None -> invalid_arg ("unknown benchmark " ^ name)
+        in
+        Printf.eprintf "  [fig9] %s...\n%!" name;
+        ( name,
+          List.map
+            (fun (label, period) -> (label, measure_point ~platform ~scale bench period))
+            periods ))
+      benchmarks
+  in
+  let print_series title proj =
+    Printf.printf "%s\n" title;
+    Util.Table.print
+      ~header:("benchmark" :: List.map fst periods)
+      (List.map
+         (fun (name, points) ->
+           name
+           :: List.map (fun (_, pt) -> Printf.sprintf "%.1f" (proj pt)) points)
+         table);
+    print_newline ()
+  in
+  print_series "(a) Forking-and-COW overhead (%) vs slicing period" (fun p ->
+      p.fork_cow);
+  print_series "(b) Last-checker-sync overhead (%) vs slicing period" (fun p ->
+      p.sync);
+  print_series "(c) Combined performance overhead (%) vs slicing period" (fun p ->
+      p.total);
+  (* Sweet spots per benchmark (paper: gcc 2B, mcf 5B, sjeng 20B). *)
+  List.iter
+    (fun (name, points) ->
+      let best =
+        List.fold_left
+          (fun (bl, bv) (l, pt) -> if pt.total < bv then (l, pt.total) else (bl, bv))
+          ("?", infinity) points
+      in
+      Printf.printf "sweet spot for %-12s %s cycles (%.1f%% total overhead)\n" name
+        (fst best) (snd best))
+    table

@@ -1,0 +1,62 @@
+(* Tables 1 and 2. Table 1's hardware/compiler rows are the paper's
+   literature numbers (we cannot re-measure other people's hardware);
+   the two runtime-based rows are measured by this reproduction. *)
+
+let table1 ~platform ~scale ~quick =
+  let rows = Suite.get ~platform ~scale ~quick in
+  let perf proj = Suite.geomean_overhead_pct proj rows in
+  let mem proj =
+    (Util.Stats.geomean (List.map proj rows) -. 1.0) *. 100.0
+  in
+  Util.Table.print
+    ~header:
+      [ "approach"; "technique"; "hw?"; "src?"; "memory ovh"; "perf ovh"; "energy ovh" ]
+    [
+      [ "HW lock-stepping"; "TCLS / IBM / Cortex-R"; "Y"; "N"; "0%"; "~0%"; "~100%" ];
+      [ "HW SMT"; "RMT / SRTR"; "Y"; "N"; "0%"; "32-60%"; "100%" ];
+      [ "HW parallel hetero"; "ParaMedic"; "Y"; "N"; "0%"; "3%"; "16%" ];
+      [ "Compiler thread-local"; "SWIFT / nZDC / InCheck"; "N"; "Y"; "~0%"; "45-197%"; "~100%" ];
+      [ "Compiler RMT"; "DAFT / COMET / EXPERT"; "N"; "Y"; "~0%"; "38-400%"; "~100%" ];
+      [
+        "Runtime async dup";
+        "RAFT (measured)";
+        "N";
+        "N";
+        Printf.sprintf "%.0f%%" (mem Suite.memory_norm_raft);
+        Printf.sprintf "%.1f%%" (perf Suite.perf_norm_raft);
+        Printf.sprintf "%.1f%%" (perf Suite.energy_norm_raft);
+      ];
+      [
+        "Runtime parallel hetero";
+        "Parallaft (this repro)";
+        "N";
+        "N";
+        Printf.sprintf "%.0f%%" (mem Suite.memory_norm_parallaft);
+        Printf.sprintf "%.1f%%" (perf Suite.perf_norm_parallaft);
+        Printf.sprintf "%.1f%%" (perf Suite.energy_norm_parallaft);
+      ];
+    ];
+  Printf.printf
+    "\nPaper's measured rows: RAFT 95%% / 16.2%% / 87.8%% — Parallaft 232%% / 15.9%% / 44.3%%\n"
+
+let table2 () =
+  Util.Table.print
+    ~header:[ "capability"; "RAFT"; "Parallaft" ]
+    [
+      [ "Guaranteed error detection"; "No"; "Yes" ];
+      [ "Error containment in SoR"; "No"; "Future work" ];
+      [ "Error recovery possible?"; "No"; "Future work" ];
+    ];
+  print_newline ();
+  print_endline
+    "Rationale (§3.4): RAFT only compares at syscalls and its syscall\n\
+     misspeculation rollback can overwrite the only copy of an erroneous\n\
+     state with the speculative one, so errors can escape undetected.\n\
+     Parallaft compares all modified state at every segment boundary, so\n\
+     every error is detected within (max segment length) x (max live\n\
+     segments); errors may still escape through eagerly-issued syscalls\n\
+     before that bound (no containment), and rollback recovery is left\n\
+     as future work.\n\
+     This reproduction demonstrates the detection guarantee empirically\n\
+     in the Figure 10 fault-injection campaign: no injection that\n\
+     corrupts architectural state survives undetected."

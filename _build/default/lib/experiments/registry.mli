@@ -1,0 +1,16 @@
+(** Name -> experiment dispatch for the CLI and the bench harness. *)
+
+type t = {
+  name : string;
+  title : string;
+  run : unit -> unit;
+}
+
+val all : unit -> t list
+val names : unit -> string list
+
+val find : string -> t list option
+(** ["all"] resolves to every paper experiment (calibration excluded). *)
+
+val run : t -> unit
+(** Prints a header, then the experiment's output. *)

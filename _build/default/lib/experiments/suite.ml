@@ -1,0 +1,80 @@
+type row = {
+  bench : Workloads.Spec.t;
+  baseline : Measure.metrics;
+  parallaft : Measure.metrics;
+  raft : Measure.metrics;
+}
+
+let quick_set =
+  [ "403.gcc"; "429.mcf"; "458.sjeng"; "456.hmmer"; "470.lbm"; "433.milc" ]
+
+let benchmarks ~quick =
+  if quick then
+    List.filter (fun b -> List.mem b.Workloads.Spec.name quick_set) Workloads.Spec.all
+  else Workloads.Spec.all
+
+let cache : (string * float * bool, row list) Hashtbl.t = Hashtbl.create 4
+
+let sweep ~platform ~scale ~quick =
+  let benches = benchmarks ~quick in
+  List.map
+    (fun bench ->
+      Printf.eprintf "  [sweep %s] %s...\n%!" platform.Platform.name
+        bench.Workloads.Spec.name;
+      let baseline =
+        Measure.run_benchmark ~platform ~mode:Measure.Baseline ~scale bench
+      in
+      let parallaft =
+        Measure.run_benchmark ~platform
+          ~mode:(Measure.Protected (Parallaft.Config.parallaft ~platform ()))
+          ~scale bench
+      in
+      let raft =
+        Measure.run_benchmark ~platform
+          ~mode:(Measure.Protected (Parallaft.Config.raft ~platform ()))
+          ~scale bench
+      in
+      { bench; baseline; parallaft; raft })
+    benches
+
+let get ~platform ~scale ~quick =
+  let key = (platform.Platform.name, scale, quick) in
+  match Hashtbl.find_opt cache key with
+  | Some rows -> rows
+  | None ->
+    let rows = sweep ~platform ~scale ~quick in
+    Hashtbl.replace cache key rows;
+    rows
+
+let geomean_overhead_pct proj rows =
+  (Util.Stats.geomean (List.map proj rows) -. 1.0) *. 100.0
+
+let perf_norm_parallaft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.wall_ns
+    ~measured:r.parallaft.Measure.wall_ns
+
+let perf_norm_raft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.wall_ns
+    ~measured:r.raft.Measure.wall_ns
+
+let energy_norm_parallaft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.energy_j
+    ~measured:r.parallaft.Measure.energy_j
+
+let energy_norm_raft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.energy_j
+    ~measured:r.raft.Measure.energy_j
+
+let memory_norm_parallaft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.mean_pss_bytes
+    ~measured:r.parallaft.Measure.mean_pss_bytes
+
+let memory_norm_raft r =
+  Util.Stats.normalized ~baseline:r.baseline.Measure.mean_pss_bytes
+    ~measured:r.raft.Measure.mean_pss_bytes
+
+let short_name b =
+  let name = b.Workloads.Spec.name in
+  match String.index_opt name '.' with
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+  | None -> name

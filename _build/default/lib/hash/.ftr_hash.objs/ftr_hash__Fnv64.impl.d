@@ -1,0 +1,1 @@
+lib/hash/fnv64.ml: Bytes Char Int64

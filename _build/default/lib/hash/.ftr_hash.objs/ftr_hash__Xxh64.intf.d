@@ -1,0 +1,1 @@
+lib/hash/xxh64.mli: Bytes

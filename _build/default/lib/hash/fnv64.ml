@@ -1,0 +1,23 @@
+let offset_basis = 0xCBF29CE484222325L
+let prime = 0x100000001B3L
+
+let hash_sub ?(seed = offset_basis) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Fnv64.hash_sub";
+  let h = ref seed in
+  for i = pos to pos + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i)));
+    h := Int64.mul !h prime
+  done;
+  !h
+
+let hash ?seed b = hash_sub ?seed b ~pos:0 ~len:(Bytes.length b)
+
+let combine h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    let byte = Int64.logand (Int64.shift_right_logical v (shift * 8)) 0xFFL in
+    h := Int64.logxor !h byte;
+    h := Int64.mul !h prime
+  done;
+  !h

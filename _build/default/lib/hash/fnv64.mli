@@ -1,0 +1,17 @@
+(** FNV-1a 64-bit — a simpler, weaker alternative hash.
+
+    Used as the ablation point for the "hash choice" design decision: the
+    comparator can be instantiated with either XXH64 (the paper's choice)
+    or FNV-1a, and the benchmarks compare their host-side cost. *)
+
+val hash : ?seed:int64 -> Bytes.t -> int64
+(** [hash ?seed b] hashes all of [b]. The seed (default: the standard FNV
+    offset basis) replaces the offset basis. *)
+
+val hash_sub : ?seed:int64 -> Bytes.t -> pos:int -> len:int -> int64
+(** [hash_sub] hashes a sub-range.
+
+    @raise Invalid_argument on an invalid range. *)
+
+val combine : int64 -> int64 -> int64
+(** [combine h v] folds the 8 bytes of [v] into the running hash [h]. *)

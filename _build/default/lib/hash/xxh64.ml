@@ -1,0 +1,158 @@
+(* Canonical XXH64 (https://xxhash.com). All arithmetic is modulo 2^64 on
+   Int64 values; OCaml's Int64 ops already wrap. *)
+
+let p1 = 0x9E3779B185EBCA87L
+let p2 = 0xC2B2AE3D27D4EB4FL
+let p3 = 0x165667B19E3779F9L
+let p4 = 0x85EBCA77C2B2AE63L
+let p5 = 0x27D4EB2F165667C5L
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+
+let rotl x r =
+  Int64.logor (Int64.shift_left x r) (Int64.shift_right_logical x (64 - r))
+
+let round acc lane = rotl (acc +% (lane *% p2)) 31 *% p1
+
+let merge_round acc v = ((acc ^% round 0L v) *% p1) +% p4
+
+let avalanche h =
+  let h = h ^% Int64.shift_right_logical h 33 in
+  let h = h *% p2 in
+  let h = h ^% Int64.shift_right_logical h 29 in
+  let h = h *% p3 in
+  h ^% Int64.shift_right_logical h 32
+
+let get64 b i = Bytes.get_int64_le b i
+let get32 b i = Int64.of_int32 (Bytes.get_int32_le b i) |> Int64.logand 0xFFFFFFFFL
+let get8 b i = Int64.of_int (Char.code (Bytes.unsafe_get b i))
+
+(* Finish hashing [b.(pos .. pos+len)] given the accumulator [acc] (which
+   already includes the total length). *)
+let finalize acc b pos len =
+  let acc = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while stop - !i >= 8 do
+    acc := (rotl (!acc ^% round 0L (get64 b !i)) 27 *% p1) +% p4;
+    i := !i + 8
+  done;
+  if stop - !i >= 4 then begin
+    acc := (rotl (!acc ^% (get32 b !i *% p1)) 23 *% p2) +% p3;
+    i := !i + 4
+  end;
+  while !i < stop do
+    acc := rotl (!acc ^% (get8 b !i *% p5)) 11 *% p1;
+    incr i
+  done;
+  avalanche !acc
+
+let hash_sub ?(seed = 0L) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Xxh64.hash_sub";
+  if len >= 32 then begin
+    let v1 = ref (seed +% p1 +% p2)
+    and v2 = ref (seed +% p2)
+    and v3 = ref seed
+    and v4 = ref (Int64.sub seed p1) in
+    let i = ref pos in
+    let limit = pos + len - 32 in
+    while !i <= limit do
+      v1 := round !v1 (get64 b !i);
+      v2 := round !v2 (get64 b (!i + 8));
+      v3 := round !v3 (get64 b (!i + 16));
+      v4 := round !v4 (get64 b (!i + 24));
+      i := !i + 32
+    done;
+    let acc = rotl !v1 1 +% rotl !v2 7 +% rotl !v3 12 +% rotl !v4 18 in
+    let acc = merge_round acc !v1 in
+    let acc = merge_round acc !v2 in
+    let acc = merge_round acc !v3 in
+    let acc = merge_round acc !v4 in
+    let acc = acc +% Int64.of_int len in
+    finalize acc b !i (pos + len - !i)
+  end
+  else
+    let acc = seed +% p5 +% Int64.of_int len in
+    finalize acc b pos len
+
+let hash ?seed b = hash_sub ?seed b ~pos:0 ~len:(Bytes.length b)
+
+type state = {
+  seed : int64;
+  mutable total : int;
+  buf : Bytes.t; (* 32-byte stripe buffer *)
+  mutable buf_len : int;
+  mutable v1 : int64;
+  mutable v2 : int64;
+  mutable v3 : int64;
+  mutable v4 : int64;
+}
+
+let init ?(seed = 0L) () =
+  {
+    seed;
+    total = 0;
+    buf = Bytes.create 32;
+    buf_len = 0;
+    v1 = seed +% p1 +% p2;
+    v2 = seed +% p2;
+    v3 = seed;
+    v4 = Int64.sub seed p1;
+  }
+
+let consume_stripe st b pos =
+  st.v1 <- round st.v1 (get64 b pos);
+  st.v2 <- round st.v2 (get64 b (pos + 8));
+  st.v3 <- round st.v3 (get64 b (pos + 16));
+  st.v4 <- round st.v4 (get64 b (pos + 24))
+
+let update st b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Xxh64.update";
+  st.total <- st.total + len;
+  let pos = ref pos and len = ref len in
+  if st.buf_len > 0 then begin
+    let need = 32 - st.buf_len in
+    let take = min need !len in
+    Bytes.blit b !pos st.buf st.buf_len take;
+    st.buf_len <- st.buf_len + take;
+    pos := !pos + take;
+    len := !len - take;
+    if st.buf_len = 32 then begin
+      consume_stripe st st.buf 0;
+      st.buf_len <- 0
+    end
+  end;
+  while !len >= 32 do
+    consume_stripe st b !pos;
+    pos := !pos + 32;
+    len := !len - 32
+  done;
+  if !len > 0 then begin
+    Bytes.blit b !pos st.buf 0 !len;
+    st.buf_len <- !len
+  end
+
+let scratch8 = Bytes.create 8
+
+let update_int64 st v =
+  Bytes.set_int64_le scratch8 0 v;
+  update st scratch8 ~pos:0 ~len:8
+
+let digest st =
+  let acc =
+    if st.total >= 32 then
+      let acc =
+        rotl st.v1 1 +% rotl st.v2 7 +% rotl st.v3 12 +% rotl st.v4 18
+      in
+      let acc = merge_round acc st.v1 in
+      let acc = merge_round acc st.v2 in
+      let acc = merge_round acc st.v3 in
+      merge_round acc st.v4
+    else st.seed +% p5
+  in
+  let acc = acc +% Int64.of_int st.total in
+  finalize acc st.buf 0 st.buf_len

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Bytes Hashtbl Insn List Printf Program String

@@ -1,0 +1,259 @@
+type statement =
+  | Label of string
+  | Direct of Insn.t
+  | Branch_to of Insn.cond * Insn.reg * Insn.reg * string
+  | Jump_to of string
+
+type parse_state = {
+  mutable prog_name : string option;
+  mutable data : Program.data_segment list;
+  mutable brk : int option;
+  mutable stmts : (int * statement) list; (* line number, reversed *)
+}
+
+exception Asm_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Asm_error (line, msg))) fmt
+
+(* Cut the line at ';' or '#', but not inside a string literal. *)
+let strip_comment line =
+  let buf = Buffer.create (String.length line) in
+  let in_string = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if !in_string then begin
+           Buffer.add_char buf c;
+           if c = '"' then in_string := false
+         end
+         else if c = '"' then begin
+           Buffer.add_char buf c;
+           in_string := true
+         end
+         else if c = ';' || c = '#' then raise Exit
+         else Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let tokenize line_no s =
+  (* Split on whitespace and commas, keeping string literals whole. *)
+  let tokens = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  let n = String.length s in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '"' then begin
+      flush ();
+      Buffer.add_char buf c;
+      incr i;
+      while !i < n && s.[!i] <> '"' do
+        Buffer.add_char buf s.[!i];
+        incr i
+      done;
+      if !i >= n then fail line_no "unterminated string literal";
+      Buffer.add_char buf '"';
+      incr i;
+      flush ()
+    end
+    else if c = ' ' || c = '\t' || c = ',' then begin
+      flush ();
+      incr i
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  flush ();
+  List.rev !tokens
+
+let parse_reg line tok =
+  let len = String.length tok in
+  if len >= 2 && (tok.[0] = 'r' || tok.[0] = 'R') then
+    match int_of_string_opt (String.sub tok 1 (len - 1)) with
+    | Some r when r >= 0 && r < Insn.num_regs -> r
+    | Some r -> fail line "register r%d out of range" r
+    | None -> fail line "bad register %S" tok
+  else fail line "expected register, got %S" tok
+
+let parse_int line tok =
+  match int_of_string_opt tok with
+  | Some i -> i
+  | None -> fail line "expected integer, got %S" tok
+
+let parse_operand line tok =
+  let len = String.length tok in
+  if len >= 2 && (tok.[0] = 'r' || tok.[0] = 'R')
+     && int_of_string_opt (String.sub tok 1 (len - 1)) <> None
+  then Insn.Reg (parse_reg line tok)
+  else Insn.Imm (parse_int line tok)
+
+let unescape line s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'r' -> Buffer.add_char buf '\r'
+       | '0' -> Buffer.add_char buf '\000'
+       | '\\' -> Buffer.add_char buf '\\'
+       | '"' -> Buffer.add_char buf '"'
+       | c -> fail line "unknown escape \\%c" c);
+       incr i
+     end
+     else Buffer.add_char buf s.[!i]);
+    incr i
+  done;
+  Buffer.contents buf
+
+let parse_string_literal line tok =
+  let n = String.length tok in
+  if n >= 2 && tok.[0] = '"' && tok.[n - 1] = '"' then
+    Bytes.of_string (unescape line (String.sub tok 1 (n - 2)))
+  else fail line "expected string literal, got %S" tok
+
+let alu_of_mnemonic = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "mul" -> Some Insn.Mul
+  | "div" -> Some Insn.Div
+  | "rem" -> Some Insn.Rem
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "shl" -> Some Insn.Shl
+  | "shr" -> Some Insn.Shr
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Insn.Eq
+  | "bne" -> Some Insn.Ne
+  | "blt" -> Some Insn.Lt
+  | "bge" -> Some Insn.Ge
+  | _ -> None
+
+let parse_insn line mnemonic args =
+  let reg = parse_reg line and int = parse_int line in
+  let operand = parse_operand line in
+  match (alu_of_mnemonic mnemonic, cond_of_mnemonic mnemonic, args) with
+  | Some op, _, [ rd; rs1; op2 ] -> Direct (Insn.Alu (op, reg rd, reg rs1, operand op2))
+  | Some _, _, _ -> fail line "%s expects 3 operands" mnemonic
+  | _, Some c, [ rs1; rs2; target ] -> Branch_to (c, reg rs1, reg rs2, target)
+  | _, Some _, _ -> fail line "%s expects 3 operands" mnemonic
+  | None, None, _ ->
+    (match (mnemonic, args) with
+    | "li", [ rd; imm ] -> Direct (Insn.Li (reg rd, int imm))
+    | "mov", [ rd; rs ] -> Direct (Insn.Mov (reg rd, reg rs))
+    | "load", [ rd; rb; off ] -> Direct (Insn.Load (reg rd, reg rb, int off))
+    | "store", [ rs; rb; off ] -> Direct (Insn.Store (reg rs, reg rb, int off))
+    | "load8", [ rd; rb; off ] -> Direct (Insn.Load8 (reg rd, reg rb, int off))
+    | "store8", [ rs; rb; off ] -> Direct (Insn.Store8 (reg rs, reg rb, int off))
+    | "jmp", [ target ] -> Jump_to target
+    | "jr", [ rs ] -> Direct (Insn.Jump_reg (reg rs))
+    | "syscall", [] -> Direct Insn.Syscall
+    | "rdtsc", [ rd ] -> Direct (Insn.Rdtsc (reg rd))
+    | "rdcoreid", [ rd ] -> Direct (Insn.Rdcoreid (reg rd))
+    | "rdrand", [ rd ] -> Direct (Insn.Rdrand (reg rd))
+    | "nop", [] -> Direct Insn.Nop
+    | "halt", [] -> Direct Insn.Halt
+    | _ -> fail line "unknown or malformed instruction %S" mnemonic)
+
+let parse_line st line_no raw =
+  let s = String.trim (strip_comment raw) in
+  if s = "" then ()
+  else
+    let tokens = tokenize line_no s in
+    let rec consume = function
+      | [] -> ()
+      | tok :: rest when String.length tok > 1 && tok.[String.length tok - 1] = ':'
+        ->
+        st.stmts <-
+          (line_no, Label (String.sub tok 0 (String.length tok - 1))) :: st.stmts;
+        consume rest
+      | ".name" :: name :: rest ->
+        st.prog_name <- Some name;
+        if rest <> [] then fail line_no "trailing tokens after .name";
+        ()
+      | ".brk" :: addr :: rest ->
+        st.brk <- Some (parse_int line_no addr);
+        if rest <> [] then fail line_no "trailing tokens after .brk"
+      | ".data" :: addr :: lit :: rest ->
+        let base = parse_int line_no addr in
+        let bytes = parse_string_literal line_no lit in
+        st.data <- { Program.base; bytes } :: st.data;
+        if rest <> [] then fail line_no "trailing tokens after .data"
+      | ".zero" :: addr :: len :: rest ->
+        let base = parse_int line_no addr in
+        let len = parse_int line_no len in
+        if len < 0 then fail line_no ".zero with negative length";
+        st.data <- { Program.base; bytes = Bytes.make len '\000' } :: st.data;
+        if rest <> [] then fail line_no "trailing tokens after .zero"
+      | mnemonic :: args ->
+        if String.length mnemonic > 0 && mnemonic.[0] = '.' then
+          fail line_no "unknown directive %S" mnemonic;
+        st.stmts <- (line_no, parse_insn line_no mnemonic args) :: st.stmts
+    in
+    consume tokens
+
+let assemble ?name src =
+  let st = { prog_name = None; data = []; brk = None; stmts = [] } in
+  try
+    List.iteri (fun i line -> parse_line st (i + 1) line) (String.split_on_char '\n' src);
+    let stmts = List.rev st.stmts in
+    (* Pass 1: assign indices to labels. *)
+    let labels = Hashtbl.create 16 in
+    let idx = ref 0 in
+    List.iter
+      (fun (line, stmt) ->
+        match stmt with
+        | Label l ->
+          if Hashtbl.mem labels l then fail line "duplicate label %S" l;
+          Hashtbl.replace labels l !idx
+        | Direct _ | Branch_to _ | Jump_to _ -> incr idx)
+      stmts;
+    let resolve line l =
+      match Hashtbl.find_opt labels l with
+      | Some i -> i
+      | None -> fail line "undefined label %S" l
+    in
+    (* Pass 2: emit. *)
+    let code =
+      List.filter_map
+        (fun (line, stmt) ->
+          match stmt with
+          | Label _ -> None
+          | Direct i -> Some i
+          | Branch_to (c, rs1, rs2, l) ->
+            Some (Insn.Branch (c, rs1, rs2, resolve line l))
+          | Jump_to l -> Some (Insn.Jump (resolve line l)))
+        stmts
+      |> Array.of_list
+    in
+    let final_name =
+      match (name, st.prog_name) with
+      | Some n, _ -> n
+      | None, Some n -> n
+      | None, None -> "asm"
+    in
+    Ok
+      (Program.create ~name:final_name ?initial_brk:st.brk
+         ~data:(List.rev st.data) code)
+  with
+  | Asm_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let assemble_exn ?name src =
+  match assemble ?name src with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Asm.assemble: " ^ msg)

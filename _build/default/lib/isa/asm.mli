@@ -1,0 +1,39 @@
+(** A two-pass assembler for a small textual assembly syntax.
+
+    Used by the examples and tests to write simulated programs by hand.
+    Syntax, one statement per line:
+
+    {v
+    ; comment (also "#")
+    .name my_program          ; optional program name
+    .data 0x2000 "bytes..."   ; map a string at an address
+    .zero 0x3000 4096         ; map zero-filled bytes at an address
+    .brk 0x10000              ; set the initial program break
+
+    start:                    ; label (may share a line with an insn)
+      li   r1, 42
+      mov  r2, r1
+      add  r2, r1, r2         ; third operand: register or immediate
+      load r3, r2, 0          ; r3 := mem64[r2 + 0]
+      store r3, r2, 8
+      load8 r4, r2, 1
+      store8 r4, r2, 2
+      beq  r1, r2, start      ; bne / blt / bge likewise
+      jmp  start
+      jr   r5
+      syscall
+      rdtsc r6
+      rdcoreid r7
+      rdrand r8
+      nop
+      halt
+    v} *)
+
+val assemble : ?name:string -> string -> (Program.t, string) result
+(** [assemble src] parses and resolves [src]. Errors carry a line number.
+    [name] overrides any [.name] directive (default ["asm"]). *)
+
+val assemble_exn : ?name:string -> string -> Program.t
+(** Like {!assemble}.
+
+    @raise Invalid_argument with the error message on failure. *)

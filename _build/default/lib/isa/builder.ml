@@ -1,0 +1,105 @@
+type label = int
+
+type t = {
+  mutable code : Insn.t array;
+  mutable len : int;
+  mutable next_label : int;
+  label_pos : (label, int) Hashtbl.t;
+  (* instruction index -> label whose final position must be patched in *)
+  fixups : (int, label) Hashtbl.t;
+}
+
+let create () =
+  {
+    code = Array.make 64 Insn.Nop;
+    len = 0;
+    next_label = 0;
+    label_pos = Hashtbl.create 16;
+    fixups = Hashtbl.create 16;
+  }
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let place t l =
+  if Hashtbl.mem t.label_pos l then invalid_arg "Builder.place: label placed twice";
+  Hashtbl.replace t.label_pos l t.len
+
+let here t =
+  let l = fresh_label t in
+  place t l;
+  l
+
+let grow t =
+  let code = Array.make (2 * Array.length t.code) Insn.Nop in
+  Array.blit t.code 0 code 0 t.len;
+  t.code <- code
+
+let emit t insn =
+  if t.len = Array.length t.code then grow t;
+  t.code.(t.len) <- insn;
+  t.len <- t.len + 1
+
+let pos t = t.len
+
+let branch t cond rs1 rs2 l =
+  Hashtbl.replace t.fixups t.len l;
+  emit t (Insn.Branch (cond, rs1, rs2, 0))
+
+let jump t l =
+  Hashtbl.replace t.fixups t.len l;
+  emit t (Insn.Jump 0)
+
+let li t rd imm = emit t (Insn.Li (rd, imm))
+let mov t rd rs = emit t (Insn.Mov (rd, rs))
+let alu t op rd rs1 op2 = emit t (Insn.Alu (op, rd, rs1, op2))
+let addi t rd rs imm = emit t (Insn.Alu (Insn.Add, rd, rs, Insn.Imm imm))
+let load t rd rb off = emit t (Insn.Load (rd, rb, off))
+let store t rs rb off = emit t (Insn.Store (rs, rb, off))
+let syscall t = emit t Insn.Syscall
+let halt t = emit t Insn.Halt
+let nop t = emit t Insn.Nop
+
+let loop t ~count_reg ~times body =
+  li t count_reg times;
+  let skip = fresh_label t in
+  let top = here t in
+  (* Loop structure: while (count_reg > 0) { body; count_reg-- } *)
+  li t 14 0;
+  (* r14 is scratch for the zero comparison; generated code treats r14 as
+     builder-reserved inside [loop]. *)
+  branch t Insn.Eq count_reg 14 skip;
+  body ();
+  addi t count_reg count_reg (-1);
+  jump t top;
+  place t skip
+
+let build ~name ?data ?initial_brk t =
+  let code = Array.sub t.code 0 t.len in
+  Hashtbl.iter
+    (fun idx l ->
+      let target =
+        match Hashtbl.find_opt t.label_pos l with
+        | Some p -> p
+        | None -> invalid_arg "Builder.build: unplaced label referenced"
+      in
+      code.(idx) <-
+        (match code.(idx) with
+        | Insn.Branch (c, rs1, rs2, _) -> Insn.Branch (c, rs1, rs2, target)
+        | Insn.Jump _ -> Insn.Jump target
+        | Insn.Alu _ | Insn.Li _ | Insn.Mov _ | Insn.Load _ | Insn.Store _
+        | Insn.Load8 _ | Insn.Store8 _ | Insn.Jump_reg _ | Insn.Syscall
+        | Insn.Rdtsc _ | Insn.Rdcoreid _ | Insn.Rdrand _ | Insn.Nop | Insn.Halt
+          ->
+          invalid_arg "Builder.build: fixup on non-branch"))
+    t.fixups;
+  (* A label placed at [t.len] (just past the end) is a common way to jump
+     to program exit; make it legal by appending a halt if referenced. *)
+  let needs_tail_halt =
+    Hashtbl.fold (fun _ l acc -> acc || Hashtbl.find t.label_pos l = t.len)
+      t.fixups false
+  in
+  let code = if needs_tail_halt then Array.append code [| Insn.Halt |] else code in
+  Program.create ~name ?data ?initial_brk code

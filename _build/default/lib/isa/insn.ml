@@ -1,0 +1,123 @@
+type reg = int
+
+let num_regs = 16
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type alu_op = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Ge
+
+type t =
+  | Alu of alu_op * reg * reg * operand
+  | Li of reg * int
+  | Mov of reg * reg
+  | Load of reg * reg * int
+  | Store of reg * reg * int
+  | Load8 of reg * reg * int
+  | Store8 of reg * reg * int
+  | Branch of cond * reg * reg * int
+  | Jump of int
+  | Jump_reg of reg
+  | Syscall
+  | Rdtsc of reg
+  | Rdcoreid of reg
+  | Rdrand of reg
+  | Nop
+  | Halt
+
+let is_branch = function
+  | Branch _ | Jump _ | Jump_reg _ -> true
+  | Alu _ | Li _ | Mov _ | Load _ | Store _ | Load8 _ | Store8 _ | Syscall
+  | Rdtsc _ | Rdcoreid _ | Rdrand _ | Nop | Halt ->
+    false
+
+let is_memory = function
+  | Load _ | Store _ | Load8 _ | Store8 _ -> true
+  | Alu _ | Li _ | Mov _ | Branch _ | Jump _ | Jump_reg _ | Syscall | Rdtsc _
+  | Rdcoreid _ | Rdrand _ | Nop | Halt ->
+    false
+
+let is_nondet = function
+  | Rdtsc _ | Rdcoreid _ | Rdrand _ -> true
+  | Alu _ | Li _ | Mov _ | Load _ | Store _ | Load8 _ | Store8 _ | Branch _
+  | Jump _ | Jump_reg _ | Syscall | Nop | Halt ->
+    false
+
+let writes_reg = function
+  | Alu (_, rd, _, _) | Li (rd, _) | Mov (rd, _) | Load (rd, _, _)
+  | Load8 (rd, _, _) | Rdtsc rd | Rdcoreid rd | Rdrand rd ->
+    Some rd
+  | Store _ | Store8 _ | Branch _ | Jump _ | Jump_reg _ | Syscall | Nop | Halt
+    ->
+    None
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let cond_name = function Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge"
+
+let operand_to_string = function
+  | Reg r -> Printf.sprintf "r%d" r
+  | Imm i -> string_of_int i
+
+let to_string = function
+  | Alu (op, rd, rs1, op2) ->
+    Printf.sprintf "%s r%d, r%d, %s" (alu_op_name op) rd rs1
+      (operand_to_string op2)
+  | Li (rd, imm) -> Printf.sprintf "li r%d, %d" rd imm
+  | Mov (rd, rs) -> Printf.sprintf "mov r%d, r%d" rd rs
+  | Load (rd, rb, off) -> Printf.sprintf "load r%d, r%d, %d" rd rb off
+  | Store (rs, rb, off) -> Printf.sprintf "store r%d, r%d, %d" rs rb off
+  | Load8 (rd, rb, off) -> Printf.sprintf "load8 r%d, r%d, %d" rd rb off
+  | Store8 (rs, rb, off) -> Printf.sprintf "store8 r%d, r%d, %d" rs rb off
+  | Branch (c, rs1, rs2, target) ->
+    Printf.sprintf "%s r%d, r%d, %d" (cond_name c) rs1 rs2 target
+  | Jump target -> Printf.sprintf "jmp %d" target
+  | Jump_reg rs -> Printf.sprintf "jr r%d" rs
+  | Syscall -> "syscall"
+  | Rdtsc rd -> Printf.sprintf "rdtsc r%d" rd
+  | Rdcoreid rd -> Printf.sprintf "rdcoreid r%d" rd
+  | Rdrand rd -> Printf.sprintf "rdrand r%d" rd
+  | Nop -> "nop"
+  | Halt -> "halt"
+
+let check_reg r = if r < 0 || r >= num_regs then Error (Printf.sprintf "bad register r%d" r) else Ok ()
+
+let ( let* ) = Result.bind
+
+let check insn =
+  match insn with
+  | Alu (op, rd, rs1, op2) ->
+    let* () = check_reg rd in
+    let* () = check_reg rs1 in
+    let* () = match op2 with Reg r -> check_reg r | Imm _ -> Ok () in
+    (match (op, op2) with
+    | (Shl | Shr), Imm i when i < 0 || i > 62 -> Error "shift amount out of range"
+    | _ -> Ok ())
+  | Li (rd, _) | Rdtsc rd | Rdcoreid rd | Rdrand rd -> check_reg rd
+  | Mov (rd, rs) ->
+    let* () = check_reg rd in
+    check_reg rs
+  | Load (r1, r2, _) | Store (r1, r2, _) | Load8 (r1, r2, _) | Store8 (r1, r2, _)
+    ->
+    let* () = check_reg r1 in
+    check_reg r2
+  | Branch (_, rs1, rs2, target) ->
+    let* () = check_reg rs1 in
+    let* () = check_reg rs2 in
+    if target < 0 then Error "negative branch target" else Ok ()
+  | Jump target -> if target < 0 then Error "negative branch target" else Ok ()
+  | Jump_reg rs -> check_reg rs
+  | Syscall | Nop | Halt -> Ok ()

@@ -1,0 +1,75 @@
+(** The simulated instruction set.
+
+    A small load/store RISC with 16 general-purpose registers, absolute
+    branch targets (instruction indices), a [syscall] instruction, and the
+    nondeterministic instructions the paper has to trap and emulate
+    (§4.3.4): [rdtsc] (x86_64 timestamp counter), [rdcoreid] (the AArch64
+    [mrs MIDR_EL1] analogue — reads a value that differs between big and
+    little cores), and [rdrand].
+
+    Register values are OCaml native ints (63 bits on 64-bit hosts); the
+    fault-injection campaign flips bits within that width.
+
+    Branch targets are absolute code indices; the assembler and the
+    {!Builder} resolve labels to indices. Code lives outside the simulated
+    data address space (Harvard layout), which sidesteps self-modifying
+    code without affecting any mechanism under study. *)
+
+type reg = int
+(** Register index in [\[0, num_regs)]. *)
+
+val num_regs : int
+(** 16. By convention: [r0] syscall number / return value, [r1]-[r5]
+    syscall arguments, [r15] often used as a stack/frame pointer by
+    generated code. *)
+
+type operand =
+  | Reg of reg
+  | Imm of int
+
+type alu_op = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr
+
+type cond = Eq | Ne | Lt | Ge
+
+type t =
+  | Alu of alu_op * reg * reg * operand  (** [rd := rs1 op op2] *)
+  | Li of reg * int  (** [rd := imm] *)
+  | Mov of reg * reg  (** [rd := rs] *)
+  | Load of reg * reg * int  (** [rd := mem64\[rbase + off\]] *)
+  | Store of reg * reg * int  (** [mem64\[rbase + off\] := rs] *)
+  | Load8 of reg * reg * int  (** [rd := mem8\[rbase + off\]] *)
+  | Store8 of reg * reg * int  (** [mem8\[rbase + off\] := rs & 0xff] *)
+  | Branch of cond * reg * reg * int  (** conditional branch to index *)
+  | Jump of int  (** unconditional branch to index *)
+  | Jump_reg of reg  (** indirect branch: [pc := rs] *)
+  | Syscall
+  | Rdtsc of reg  (** nondeterministic: cycle counter *)
+  | Rdcoreid of reg  (** nondeterministic: differs across cores *)
+  | Rdrand of reg  (** nondeterministic: hardware randomness *)
+  | Nop
+  | Halt
+
+val is_branch : t -> bool
+(** [is_branch i] is true for control-flow instructions — exactly the
+    instructions the user-mode branch performance counter retires
+    (conditional branches count whether or not taken, as on real
+    hardware). *)
+
+val is_memory : t -> bool
+(** [is_memory i] is true for loads and stores (drives the cache/timing
+    model). *)
+
+val is_nondet : t -> bool
+(** [is_nondet i] is true for [rdtsc]/[rdcoreid]/[rdrand] — the
+    instructions the runtime must trap, emulate, record and replay. *)
+
+val writes_reg : t -> reg option
+(** [writes_reg i] is the destination register, if any. *)
+
+val to_string : t -> string
+(** Disassembly, in the textual-assembler syntax (branch targets printed
+    as absolute indices). *)
+
+val check : t -> (unit, string) result
+(** [check i] validates register indices and shift amounts; the builder
+    and assembler run it on every emitted instruction. *)

@@ -1,0 +1,43 @@
+(** An executable program for the simulated machine.
+
+    A program is an immutable instruction array plus the initial data
+    image the loader must map before the first instruction runs. Programs
+    are the unit the Parallaft runtime protects: it never inspects or
+    rewrites them (the paper's runtime works on unmodified binaries). *)
+
+type data_segment = {
+  base : int;  (** virtual byte address of the first byte *)
+  bytes : Bytes.t;
+}
+
+type t = private {
+  name : string;
+  code : Insn.t array;
+  entry : int;  (** index of the first instruction *)
+  data : data_segment list;
+      (** initial contents; the loader maps and fills these pages *)
+  initial_brk : int;
+      (** first address above the statically allocated data, where the
+          program-break heap starts *)
+}
+
+val create :
+  name:string ->
+  ?entry:int ->
+  ?data:data_segment list ->
+  ?initial_brk:int ->
+  Insn.t array ->
+  t
+(** [create ~name code] validates every instruction ([Insn.check]) and
+    every branch target (must fall inside the code array).
+
+    [initial_brk] defaults to just above the highest data segment, rounded
+    up, or [0x1000] when there is no data.
+
+    @raise Invalid_argument on a malformed program. *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val disassemble : t -> string
+(** Full listing, one instruction per line, prefixed by its index. *)

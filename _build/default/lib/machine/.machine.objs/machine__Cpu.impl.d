@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Hashtbl Isa Mem Util

@@ -1,0 +1,356 @@
+type fault =
+  | Segv of { addr : int; write : bool }
+  | Div_by_zero
+  | Bad_pc of int
+
+type stop_reason =
+  | Budget_exhausted
+  | Halted
+  | Syscall_stop
+  | Nondet_stop of Isa.Insn.t
+  | Breakpoint_stop
+  | Counter_overflow_stop
+  | Cycle_overflow_stop
+  | Insn_overflow_stop
+  | Fault_stop of fault
+
+type run_result = {
+  stop : stop_reason;
+  user_cycles : int;
+  sys_cycles : int;
+}
+
+type env = {
+  core_id : int;
+  read_tsc : unit -> int;
+  read_rand : unit -> int;
+  mem_access : write:bool -> frame:int -> int;
+  mem_access_cow : frame:int -> old_frame:int -> int;
+  cow_extra_cycles : int;
+  mul_cycles : int;
+  div_cycles : int;
+}
+
+type t = {
+  regs : int array;
+  mutable pc : int;
+  prog : Isa.Program.t;
+  aspace : Mem.Address_space.t;
+  rng : Util.Rng.t;
+  max_skid : int;
+  max_insn_overcount : int;
+  (* performance counters *)
+  mutable branches : int;
+  mutable instructions : int;
+  mutable user_cycles : int;
+  mutable sys_cycles : int;
+  (* branch-overflow interrupt *)
+  mutable overflow_armed : bool;
+  mutable overflow_trap_at : int; (* target + skid draw *)
+  mutable cycle_overflow_at : int; (* max_int = disarmed *)
+  mutable insn_overflow_at : int; (* max_int = disarmed *)
+  (* breakpoints *)
+  breakpoints : (int, unit) Hashtbl.t;
+  mutable bp_resume_pc : int; (* suppress re-trap at this pc once *)
+  (* tracing *)
+  mutable nondet_trap : bool;
+  (* fault injection *)
+  mutable inject_countdown : int; (* -1 = disarmed *)
+  mutable inject_reg : int;
+  mutable inject_bit : int;
+  mutable injected : bool;
+}
+
+let create ?(max_skid = 6) ?(max_insn_overcount = 3) ~rng ~program ~aspace () =
+  {
+    regs = Array.make Isa.Insn.num_regs 0;
+    pc = program.Isa.Program.entry;
+    prog = program;
+    aspace;
+    rng;
+    max_skid;
+    max_insn_overcount;
+    branches = 0;
+    instructions = 0;
+    user_cycles = 0;
+    sys_cycles = 0;
+    overflow_armed = false;
+    overflow_trap_at = 0;
+    cycle_overflow_at = max_int;
+    insn_overflow_at = max_int;
+    breakpoints = Hashtbl.create 4;
+    bp_resume_pc = -1;
+    nondet_trap = false;
+    inject_countdown = -1;
+    inject_reg = 0;
+    inject_bit = 0;
+    injected = false;
+  }
+
+let fork t ~rng ~aspace =
+  let child = create ~max_skid:t.max_skid ~max_insn_overcount:t.max_insn_overcount
+      ~rng ~program:t.prog ~aspace ()
+  in
+  Array.blit t.regs 0 child.regs 0 (Array.length t.regs);
+  child.pc <- t.pc;
+  child
+
+let program t = t.prog
+let aspace t = t.aspace
+let get_reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- v
+let get_pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let snapshot_regs t = Array.copy t.regs
+
+let restore_regs t regs =
+  if Array.length regs <> Array.length t.regs then
+    invalid_arg "Cpu.restore_regs: wrong register count";
+  Array.blit regs 0 t.regs 0 (Array.length regs)
+
+let branches t = t.branches
+let instructions t = t.instructions
+let cycles t = t.user_cycles + t.sys_cycles
+let user_cycles_total t = t.user_cycles
+let sys_cycles_total t = t.sys_cycles
+
+let arm_branch_overflow t ~target =
+  t.overflow_armed <- true;
+  t.overflow_trap_at <- target + Util.Rng.int t.rng (t.max_skid + 1)
+
+let disarm_branch_overflow t = t.overflow_armed <- false
+
+let max_skid t = t.max_skid
+
+let arm_cycle_overflow t ~target = t.cycle_overflow_at <- target
+let disarm_cycle_overflow t = t.cycle_overflow_at <- max_int
+let arm_insn_overflow t ~target = t.insn_overflow_at <- target
+let disarm_insn_overflow t = t.insn_overflow_at <- max_int
+
+let set_breakpoint t pc = Hashtbl.replace t.breakpoints pc ()
+let clear_breakpoint t pc = Hashtbl.remove t.breakpoints pc
+
+let clear_all_breakpoints t =
+  Hashtbl.reset t.breakpoints;
+  t.bp_resume_pc <- -1
+
+let set_nondet_trap t b = t.nondet_trap <- b
+
+let arm_fault_injection t ~after_instructions ~reg ~bit =
+  if reg < 0 || reg >= Isa.Insn.num_regs then
+    invalid_arg "Cpu.arm_fault_injection: bad register";
+  if bit < 0 || bit > 62 then invalid_arg "Cpu.arm_fault_injection: bad bit";
+  if after_instructions < 0 then
+    invalid_arg "Cpu.arm_fault_injection: negative delay";
+  t.inject_countdown <- after_instructions;
+  t.inject_reg <- reg;
+  t.inject_bit <- bit;
+  t.injected <- false
+
+let fault_injected t = t.injected
+
+(* A trap perturbs the retired-instruction counter (interrupt-return
+   overcounting, as on real hardware). *)
+let trap_overcount t =
+  if t.max_insn_overcount > 0 then
+    t.instructions <- t.instructions + Util.Rng.int t.rng (t.max_insn_overcount + 1)
+
+exception Stop of stop_reason
+
+let run t ~env ~max_cycles =
+  if max_cycles <= 0 then invalid_arg "Cpu.run: max_cycles <= 0";
+  let code = t.prog.Isa.Program.code in
+  let code_len = Array.length code in
+  let aspace = t.aspace in
+  let regs = t.regs in
+  let user = ref 0 and sys = ref 0 in
+  let base_cycles = t.user_cycles + t.sys_cycles in
+  let is_trap_stop = function
+    | Syscall_stop | Nondet_stop _ | Breakpoint_stop | Counter_overflow_stop
+    | Cycle_overflow_stop | Insn_overflow_stop | Fault_stop _ ->
+      true
+    | Budget_exhausted | Halted -> false
+  in
+  let operand_value = function
+    | Isa.Insn.Reg r -> regs.(r)
+    | Isa.Insn.Imm i -> i
+  in
+  let mem_cost ~write =
+    1 + env.mem_access ~write ~frame:(Mem.Address_space.last_frame aspace)
+  in
+  let store_cost () =
+    if Mem.Address_space.last_cow aspace then begin
+      sys := !sys + env.cow_extra_cycles;
+      1
+      + env.mem_access_cow
+          ~frame:(Mem.Address_space.last_frame aspace)
+          ~old_frame:(Mem.Address_space.last_cow_old_frame aspace)
+    end
+    else mem_cost ~write:true
+  in
+  let stop =
+    try
+      while true do
+        (* Fetch. *)
+        if t.pc < 0 || t.pc >= code_len then raise (Stop (Fault_stop (Bad_pc t.pc)));
+        (* Hardware breakpoint check (suppressed once after resume). *)
+        if Hashtbl.length t.breakpoints > 0
+           && t.bp_resume_pc <> t.pc
+           && Hashtbl.mem t.breakpoints t.pc
+        then begin
+          t.bp_resume_pc <- t.pc;
+          raise (Stop Breakpoint_stop)
+        end;
+        let insn = Array.unsafe_get code t.pc in
+        (match insn with
+        | Isa.Insn.Syscall -> raise (Stop Syscall_stop)
+        | Isa.Insn.Rdtsc _ | Isa.Insn.Rdcoreid _ | Isa.Insn.Rdrand _
+          when t.nondet_trap ->
+          raise (Stop (Nondet_stop insn))
+        | Isa.Insn.Halt -> raise (Stop Halted)
+        | Isa.Insn.Alu _ | Isa.Insn.Li _ | Isa.Insn.Mov _ | Isa.Insn.Load _
+        | Isa.Insn.Store _ | Isa.Insn.Load8 _ | Isa.Insn.Store8 _
+        | Isa.Insn.Branch _ | Isa.Insn.Jump _ | Isa.Insn.Jump_reg _
+        | Isa.Insn.Rdtsc _ | Isa.Insn.Rdcoreid _ | Isa.Insn.Rdrand _
+        | Isa.Insn.Nop ->
+          ());
+        t.bp_resume_pc <- -1;
+        (* Execute. *)
+        let next_pc = t.pc + 1 in
+        (try
+           match insn with
+           | Isa.Insn.Alu (op, rd, rs1, op2) ->
+             let a = regs.(rs1) and b = operand_value op2 in
+             let v =
+               match op with
+               | Isa.Insn.Add ->
+                 user := !user + 1;
+                 a + b
+               | Isa.Insn.Sub ->
+                 user := !user + 1;
+                 a - b
+               | Isa.Insn.Mul ->
+                 user := !user + env.mul_cycles;
+                 a * b
+               | Isa.Insn.Div ->
+                 user := !user + env.div_cycles;
+                 if b = 0 then raise (Stop (Fault_stop Div_by_zero)) else a / b
+               | Isa.Insn.Rem ->
+                 user := !user + env.div_cycles;
+                 if b = 0 then raise (Stop (Fault_stop Div_by_zero)) else a mod b
+               | Isa.Insn.And ->
+                 user := !user + 1;
+                 a land b
+               | Isa.Insn.Or ->
+                 user := !user + 1;
+                 a lor b
+               | Isa.Insn.Xor ->
+                 user := !user + 1;
+                 a lxor b
+               | Isa.Insn.Shl ->
+                 user := !user + 1;
+                 let sh = b land 63 in
+                 if sh > 62 then 0 else a lsl sh
+               | Isa.Insn.Shr ->
+                 user := !user + 1;
+                 let sh = b land 63 in
+                 if sh > 62 then 0 else a lsr sh
+             in
+             regs.(rd) <- v;
+             t.pc <- next_pc
+           | Isa.Insn.Li (rd, imm) ->
+             user := !user + 1;
+             regs.(rd) <- imm;
+             t.pc <- next_pc
+           | Isa.Insn.Mov (rd, rs) ->
+             user := !user + 1;
+             regs.(rd) <- regs.(rs);
+             t.pc <- next_pc
+           | Isa.Insn.Load (rd, rb, off) ->
+             let v = Mem.Address_space.load64 aspace (regs.(rb) + off) in
+             user := !user + mem_cost ~write:false;
+             regs.(rd) <- v;
+             t.pc <- next_pc
+           | Isa.Insn.Store (rs, rb, off) ->
+             Mem.Address_space.store64 aspace (regs.(rb) + off) regs.(rs);
+             user := !user + store_cost ();
+             t.pc <- next_pc
+           | Isa.Insn.Load8 (rd, rb, off) ->
+             let v = Mem.Address_space.load8 aspace (regs.(rb) + off) in
+             user := !user + mem_cost ~write:false;
+             regs.(rd) <- v;
+             t.pc <- next_pc
+           | Isa.Insn.Store8 (rs, rb, off) ->
+             Mem.Address_space.store8 aspace (regs.(rb) + off) regs.(rs);
+             user := !user + store_cost ();
+             t.pc <- next_pc
+           | Isa.Insn.Branch (cond, rs1, rs2, target) ->
+             user := !user + 1;
+             t.branches <- t.branches + 1;
+             let a = regs.(rs1) and b = regs.(rs2) in
+             let taken =
+               match cond with
+               | Isa.Insn.Eq -> a = b
+               | Isa.Insn.Ne -> a <> b
+               | Isa.Insn.Lt -> a < b
+               | Isa.Insn.Ge -> a >= b
+             in
+             t.pc <- (if taken then target else next_pc)
+           | Isa.Insn.Jump target ->
+             user := !user + 1;
+             t.branches <- t.branches + 1;
+             t.pc <- target
+           | Isa.Insn.Jump_reg rs ->
+             user := !user + 1;
+             t.branches <- t.branches + 1;
+             t.pc <- regs.(rs)
+           | Isa.Insn.Rdtsc rd ->
+             user := !user + 2;
+             regs.(rd) <- env.read_tsc ();
+             t.pc <- next_pc
+           | Isa.Insn.Rdcoreid rd ->
+             user := !user + 2;
+             regs.(rd) <- env.core_id;
+             t.pc <- next_pc
+           | Isa.Insn.Rdrand rd ->
+             user := !user + 2;
+             regs.(rd) <- env.read_rand ();
+             t.pc <- next_pc
+           | Isa.Insn.Nop ->
+             user := !user + 1;
+             t.pc <- next_pc
+           | Isa.Insn.Syscall | Isa.Insn.Halt ->
+             (* Unreachable: intercepted at fetch. *)
+             assert false
+         with Mem.Address_space.Segfault { addr; write } ->
+           raise (Stop (Fault_stop (Segv { addr; write }))));
+        (* Retire. *)
+        t.instructions <- t.instructions + 1;
+        if t.inject_countdown >= 0 then begin
+          if t.inject_countdown = 0 then begin
+            regs.(t.inject_reg) <- regs.(t.inject_reg) lxor (1 lsl t.inject_bit);
+            t.injected <- true
+          end;
+          t.inject_countdown <- t.inject_countdown - 1
+        end;
+        if t.overflow_armed && t.branches >= t.overflow_trap_at then begin
+          t.overflow_armed <- false;
+          raise (Stop Counter_overflow_stop)
+        end;
+        if t.instructions >= t.insn_overflow_at then begin
+          t.insn_overflow_at <- max_int;
+          raise (Stop Insn_overflow_stop)
+        end;
+        if base_cycles + !user + !sys >= t.cycle_overflow_at then begin
+          t.cycle_overflow_at <- max_int;
+          raise (Stop Cycle_overflow_stop)
+        end;
+        if !user + !sys >= max_cycles then raise (Stop Budget_exhausted)
+      done;
+      assert false
+    with Stop reason -> reason
+  in
+  if is_trap_stop stop then trap_overcount t;
+  t.user_cycles <- t.user_cycles + !user;
+  t.sys_cycles <- t.sys_cycles + !sys;
+  { stop; user_cycles = !user; sys_cycles = !sys }

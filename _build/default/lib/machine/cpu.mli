@@ -1,0 +1,165 @@
+(** The simulated CPU: architectural state plus the monitoring hardware
+    Parallaft depends on.
+
+    One [Cpu.t] is the machine context of one simulated process (the OS
+    layer pairs it with scheduling state). It executes {!Isa.Insn}
+    programs against an {!Mem.Address_space} and exposes:
+
+    - a {e deterministic} user-mode retired-branch counter with
+      overflow interrupts subject to bounded {e skid} (§4.2.2 of the
+      paper: the interrupt lands up to [max_skid] branches late);
+    - a retired-instruction counter that {e overcounts
+      nondeterministically} at every trap (the documented behaviour of
+      commodity counters [Weaver et al.] that forces Parallaft to replay
+      with branch counts + breakpoints rather than instruction counts);
+    - hardware breakpoints;
+    - trapping of nondeterministic instructions ([rdtsc], [rdcoreid],
+      [rdrand]) when enabled by the tracer;
+    - a fault-injection port that flips one register bit after a chosen
+      number of retired instructions (§5.6).
+
+    Cycle costs are charged per instruction through an {!env} the
+    scheduler rebuilds whenever the process changes core or the
+    contention picture changes. *)
+
+type fault =
+  | Segv of { addr : int; write : bool }
+  | Div_by_zero
+  | Bad_pc of int  (** control transferred outside the code array *)
+
+type stop_reason =
+  | Budget_exhausted  (** quantum used up; nothing notable happened *)
+  | Halted  (** executed [halt]; pc rests on the halt instruction *)
+  | Syscall_stop  (** pc rests {e on} the [syscall] instruction *)
+  | Nondet_stop of Isa.Insn.t  (** pc rests on the trapped instruction *)
+  | Breakpoint_stop  (** pc rests on the breakpointed instruction *)
+  | Counter_overflow_stop
+      (** branch counter passed its armed target (plus skid) *)
+  | Cycle_overflow_stop
+      (** total-cycle counter passed its armed target (the slicer's
+          segment-boundary interrupt on the Apple platform) *)
+  | Insn_overflow_stop
+      (** instruction counter passed its armed target (the slicer's
+          boundary on Intel, and the checker-timeout kill switch) *)
+  | Fault_stop of fault
+
+type run_result = {
+  stop : stop_reason;
+  user_cycles : int;  (** execution cycles consumed by this run call *)
+  sys_cycles : int;  (** kernel-side cycles (COW page copies) consumed *)
+}
+
+(** Per-run execution environment, supplied by the scheduler. *)
+type env = {
+  core_id : int;  (** value returned by an untrapped [rdcoreid] *)
+  read_tsc : unit -> int;  (** value returned by an untrapped [rdtsc] *)
+  read_rand : unit -> int;  (** value returned by an untrapped [rdrand] *)
+  mem_access : write:bool -> frame:int -> int;
+      (** extra cycles for a memory access to physical frame [frame]
+          (cache hierarchy + DRAM contention), excluding the 1-cycle
+          base cost *)
+  mem_access_cow : frame:int -> old_frame:int -> int;
+      (** cache cost of the store that just broke COW: the kernel's page
+          copy leaves the fresh frame cache-warm, so this inserts the
+          frame into the hierarchy at L2-hit cost instead of charging a
+          cold DRAM miss (the copy's traffic is part of
+          [cow_extra_cycles]); the retired [old_frame] is invalidated,
+          as recency-based replacement would age it out *)
+  cow_extra_cycles : int;  (** kernel cost of one COW page copy *)
+  mul_cycles : int;
+  div_cycles : int;
+}
+
+type t
+
+val create :
+  ?max_skid:int ->
+  ?max_insn_overcount:int ->
+  rng:Util.Rng.t ->
+  program:Isa.Program.t ->
+  aspace:Mem.Address_space.t ->
+  unit ->
+  t
+(** [max_skid] (default 6) bounds counter-overflow skid in branches;
+    [max_insn_overcount] (default 3) bounds the spurious increment the
+    instruction counter suffers at each trap. [rng] drives both noise
+    sources; give each CPU its own split stream. *)
+
+val fork : t -> rng:Util.Rng.t -> aspace:Mem.Address_space.t -> t
+(** Duplicate architectural state (registers, pc) onto a new address
+    space. Counters, breakpoints and armed events are {e not} inherited
+    (a fresh process starts with quiesced monitoring hardware), matching
+    the runtime's behaviour of configuring each checker explicitly. *)
+
+val run : t -> env:env -> max_cycles:int -> run_result
+(** Execute until the cycle budget is spent or a stop condition arises.
+    [max_cycles] must be positive. *)
+
+(** {2 Architectural state access (the ptrace register file)} *)
+
+val program : t -> Isa.Program.t
+val aspace : t -> Mem.Address_space.t
+val get_reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val get_pc : t -> int
+val set_pc : t -> int -> unit
+val snapshot_regs : t -> int array
+val restore_regs : t -> int array -> unit
+
+(** {2 Performance counters} *)
+
+val branches : t -> int
+(** Retired user-mode branches — deterministic. *)
+
+val instructions : t -> int
+(** Retired instructions {e as the hardware counter reports them},
+    including trap-overcount noise. *)
+
+val cycles : t -> int
+(** Total cycles this CPU has consumed (user + sys). *)
+
+val user_cycles_total : t -> int
+val sys_cycles_total : t -> int
+
+val arm_branch_overflow : t -> target:int -> unit
+(** Request a {!Counter_overflow_stop} once [branches t >= target + skid]
+    with a fresh skid draw in [\[0, max_skid\]]. Re-arming replaces the
+    previous target. *)
+
+val disarm_branch_overflow : t -> unit
+
+val max_skid : t -> int
+
+val arm_cycle_overflow : t -> target:int -> unit
+(** Request a {!Cycle_overflow_stop} once [cycles t >= target]. Imprecise
+    interrupts are fine here: segment boundaries may fall anywhere. *)
+
+val disarm_cycle_overflow : t -> unit
+
+val arm_insn_overflow : t -> target:int -> unit
+(** Request an {!Insn_overflow_stop} once [instructions t >= target]. *)
+
+val disarm_insn_overflow : t -> unit
+
+(** {2 Breakpoints} *)
+
+val set_breakpoint : t -> int -> unit
+val clear_breakpoint : t -> int -> unit
+val clear_all_breakpoints : t -> unit
+
+(** {2 Tracing controls} *)
+
+val set_nondet_trap : t -> bool -> unit
+(** When true (a traced process), [rdtsc]/[rdcoreid]/[rdrand] stop the
+    CPU with {!Nondet_stop} instead of executing. *)
+
+(** {2 Fault injection} *)
+
+val arm_fault_injection : t -> after_instructions:int -> reg:int -> bit:int -> unit
+(** Silently flip [bit] (0-62) of register [reg] after a further
+    [after_instructions] retired instructions.
+
+    @raise Invalid_argument on an out-of-range register or bit. *)
+
+val fault_injected : t -> bool
+(** Whether an armed injection has fired. *)

@@ -1,0 +1,1 @@
+lib/mem/address_space.ml: Bytes Char Frame Int64 Page_table

@@ -1,0 +1,1 @@
+lib/mem/fifo_cache.mli:

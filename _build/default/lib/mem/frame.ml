@@ -1,0 +1,44 @@
+type t = {
+  id : int;
+  data : Bytes.t;
+  mutable refcount : int;
+}
+
+type allocator = {
+  psize : int;
+  mutable next_id : int;
+  mutable live : int;
+  mutable total : int;
+  mutable copies : int;
+}
+
+let allocator ~page_size =
+  if page_size <= 0 || page_size mod 8 <> 0 then
+    invalid_arg "Frame.allocator: page_size must be a positive multiple of 8";
+  { psize = page_size; next_id = 0; live = 0; total = 0; copies = 0 }
+
+let page_size a = a.psize
+
+let alloc a data =
+  let id = a.next_id in
+  a.next_id <- id + 1;
+  a.live <- a.live + 1;
+  a.total <- a.total + 1;
+  { id; data; refcount = 1 }
+
+let alloc_zero a = alloc a (Bytes.make a.psize '\000')
+
+let alloc_copy a f =
+  a.copies <- a.copies + 1;
+  alloc a (Bytes.copy f.data)
+
+let incref f = f.refcount <- f.refcount + 1
+
+let decref a f =
+  if f.refcount <= 0 then invalid_arg "Frame.decref: refcount already zero";
+  f.refcount <- f.refcount - 1;
+  if f.refcount = 0 then a.live <- a.live - 1
+
+let live_frames a = a.live
+let total_allocated a = a.total
+let copies a = a.copies

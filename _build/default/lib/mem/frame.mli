@@ -1,0 +1,49 @@
+(** Physical page frames.
+
+    A frame is one page of backing store plus a reference count: the
+    number of page-table entries (across all processes) that map it.
+    Copy-on-write works exactly as in the kernel: [fork] bumps refcounts,
+    and the first store through any mapping of a frame with
+    [refcount > 1] copies it (see {!Page_table.store_prepare}).
+
+    The map count is also the basis of the paper's AArch64 dirty-page
+    tracking (§4.4): a page mapped exactly once is private to its process
+    and hence modified-or-new since the last fork. *)
+
+type t = private {
+  id : int;  (** unique physical frame number *)
+  data : Bytes.t;
+  mutable refcount : int;
+}
+
+type allocator
+(** Allocates frames and tracks global statistics. *)
+
+val allocator : page_size:int -> allocator
+(** [allocator ~page_size] builds a fresh allocator.
+
+    @raise Invalid_argument if [page_size] is not a positive multiple
+    of 8. *)
+
+val page_size : allocator -> int
+
+val alloc_zero : allocator -> t
+(** A fresh zero-filled frame with [refcount = 1]. *)
+
+val alloc_copy : allocator -> t -> t
+(** [alloc_copy a f] is a fresh frame whose contents copy [f], with
+    [refcount = 1]. Counts toward {!copies} (the COW statistic). *)
+
+val incref : t -> unit
+
+val decref : allocator -> t -> unit
+(** Drop one reference; at zero the frame is accounted as freed.
+
+    @raise Invalid_argument if the refcount is already zero. *)
+
+(** {2 Statistics} *)
+
+val live_frames : allocator -> int
+val total_allocated : allocator -> int
+val copies : allocator -> int
+(** Number of [alloc_copy] calls so far — i.e. COW page copies. *)

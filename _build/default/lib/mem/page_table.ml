@@ -1,0 +1,118 @@
+type protection = Read_only | Read_write
+
+type pte = {
+  mutable frame : Frame.t;
+  mutable prot : protection;
+  mutable soft_dirty : bool;
+}
+
+type t = {
+  alloc : Frame.allocator;
+  entries : (int, pte) Hashtbl.t;
+}
+
+exception Page_fault of { vpn : int; write : bool }
+
+let create alloc = { alloc; entries = Hashtbl.create 256 }
+
+let allocator t = t.alloc
+let page_size t = Frame.page_size t.alloc
+
+let check_unmapped t vpn =
+  if Hashtbl.mem t.entries vpn then
+    invalid_arg (Printf.sprintf "Page_table: vpn %d already mapped" vpn)
+
+let map_zero t ~vpn prot =
+  check_unmapped t vpn;
+  Hashtbl.replace t.entries vpn
+    { frame = Frame.alloc_zero t.alloc; prot; soft_dirty = true }
+
+let map_shared_frame t ~vpn frame prot =
+  check_unmapped t vpn;
+  Frame.incref frame;
+  Hashtbl.replace t.entries vpn { frame; prot; soft_dirty = false }
+
+let unmap t ~vpn =
+  match Hashtbl.find_opt t.entries vpn with
+  | None -> invalid_arg (Printf.sprintf "Page_table.unmap: vpn %d not mapped" vpn)
+  | Some pte ->
+    Frame.decref t.alloc pte.frame;
+    Hashtbl.remove t.entries vpn
+
+let is_mapped t ~vpn = Hashtbl.mem t.entries vpn
+
+let protection t ~vpn =
+  Option.map (fun pte -> pte.prot) (Hashtbl.find_opt t.entries vpn)
+
+let set_protection t ~vpn prot =
+  match Hashtbl.find_opt t.entries vpn with
+  | None ->
+    invalid_arg (Printf.sprintf "Page_table.set_protection: vpn %d not mapped" vpn)
+  | Some pte -> pte.prot <- prot
+
+let find t vpn ~write =
+  match Hashtbl.find_opt t.entries vpn with
+  | Some pte -> pte
+  | None -> raise (Page_fault { vpn; write })
+
+let frame_id t ~vpn = (find t vpn ~write:false).frame.Frame.id
+
+let read_frame t ~vpn = (find t vpn ~write:false).frame
+
+let store_prepare t ~vpn =
+  let pte = find t vpn ~write:true in
+  (match pte.prot with
+  | Read_write -> ()
+  | Read_only -> raise (Page_fault { vpn; write = true }));
+  let old_frame =
+    if pte.frame.Frame.refcount > 1 then begin
+      let old_id = pte.frame.Frame.id in
+      let fresh = Frame.alloc_copy t.alloc pte.frame in
+      Frame.decref t.alloc pte.frame;
+      pte.frame <- fresh;
+      Some old_id
+    end
+    else None
+  in
+  pte.soft_dirty <- true;
+  (pte.frame.Frame.data, old_frame)
+
+let read_bytes_at t ~vpn = (find t vpn ~write:false).frame.Frame.data
+
+let fork t =
+  let child = { alloc = t.alloc; entries = Hashtbl.create (Hashtbl.length t.entries) } in
+  Hashtbl.iter
+    (fun vpn pte ->
+      Frame.incref pte.frame;
+      Hashtbl.replace child.entries vpn
+        { frame = pte.frame; prot = pte.prot; soft_dirty = pte.soft_dirty })
+    t.entries;
+  child
+
+let free_all t =
+  Hashtbl.iter (fun _ pte -> Frame.decref t.alloc pte.frame) t.entries;
+  Hashtbl.reset t.entries
+
+let clear_soft_dirty t =
+  Hashtbl.iter (fun _ pte -> pte.soft_dirty <- false) t.entries
+
+let sorted_keys_where t pred =
+  Hashtbl.fold (fun vpn pte acc -> if pred pte then vpn :: acc else acc) t.entries []
+  |> List.sort compare
+
+let soft_dirty_pages t = sorted_keys_where t (fun pte -> pte.soft_dirty)
+
+let uniquely_mapped t =
+  sorted_keys_where t (fun pte -> pte.frame.Frame.refcount = 1)
+
+let mapped_count t = Hashtbl.length t.entries
+
+let pss_bytes t =
+  let psize = page_size t in
+  Hashtbl.fold
+    (fun _ pte acc -> acc + (psize / pte.frame.Frame.refcount))
+    t.entries 0
+
+let iter_mapped t f = Hashtbl.iter (fun vpn pte -> f ~vpn pte.frame) t.entries
+
+let mapped_vpns t = sorted_keys_where t (fun _ -> true)

@@ -1,0 +1,96 @@
+(** Per-process page tables with copy-on-write and dirty tracking.
+
+    This is the substrate for three paper mechanisms:
+    - COW checkpointing (§3.2): {!fork} shares every frame; the first
+      store through either table copies the page.
+    - Soft-dirty tracking (§4.4, x86_64 path): every store sets a per-PTE
+      soft-dirty bit; the runtime clears all bits at segment start and
+      reads the set at segment end.
+    - Map-count tracking (§4.4, AArch64 PAGEMAP_SCAN path):
+      {!uniquely_mapped} reports pages whose frame is mapped exactly once
+      system-wide, i.e. modified-or-new since the fork. *)
+
+type t
+
+type protection = Read_only | Read_write
+
+exception Page_fault of { vpn : int; write : bool }
+(** Raised by accessors on unmapped pages and by write accessors on
+    read-only pages. The machine turns this into a SIGSEGV. *)
+
+val create : Frame.allocator -> t
+(** An empty page table drawing frames from the given allocator. *)
+
+val allocator : t -> Frame.allocator
+val page_size : t -> int
+
+val map_zero : t -> vpn:int -> protection -> unit
+(** Map a fresh zero frame at [vpn].
+
+    @raise Invalid_argument if [vpn] is already mapped. *)
+
+val map_shared_frame : t -> vpn:int -> Frame.t -> protection -> unit
+(** Map an existing frame (increments its refcount). Used by the loader
+    to share immutable file content and by tests.
+
+    @raise Invalid_argument if [vpn] is already mapped. *)
+
+val unmap : t -> vpn:int -> unit
+(** @raise Invalid_argument if [vpn] is not mapped. *)
+
+val is_mapped : t -> vpn:int -> bool
+val protection : t -> vpn:int -> protection option
+val set_protection : t -> vpn:int -> protection -> unit
+
+val frame_id : t -> vpn:int -> int
+(** Physical frame number backing [vpn] — the cache model's key.
+
+    @raise Page_fault on unmapped [vpn]. *)
+
+val read_frame : t -> vpn:int -> Frame.t
+(** The backing frame, for read-only inspection (state comparison).
+
+    @raise Page_fault on unmapped [vpn]. *)
+
+val store_prepare : t -> vpn:int -> Bytes.t * int option
+(** [store_prepare t ~vpn] performs the write-side page walk: checks
+    writability, breaks COW sharing if the frame is shared, sets the
+    soft-dirty bit, and returns the (now private or exclusively owned)
+    page bytes together with [Some old_frame_id] iff a COW copy
+    happened — the caller charges COW cycle cost and evicts the retired
+    frame from its caches when it did.
+
+    @raise Page_fault on unmapped or read-only [vpn]. *)
+
+val read_bytes_at : t -> vpn:int -> Bytes.t
+(** Page bytes for reading.
+
+    @raise Page_fault on unmapped [vpn]. *)
+
+val fork : t -> t
+(** COW fork: the child shares every frame; all refcounts increase.
+    Soft-dirty bits are copied (the child inherits them, as Linux does).
+    The caller charges fork cost proportional to {!mapped_count}. *)
+
+val free_all : t -> unit
+(** Drop every mapping (process exit). *)
+
+(** {2 Dirty-page tracking} *)
+
+val clear_soft_dirty : t -> unit
+val soft_dirty_pages : t -> int list
+(** Sorted list of vpns with the soft-dirty bit set. *)
+
+val uniquely_mapped : t -> int list
+(** Sorted list of vpns whose frame has map count 1 (the PAGEMAP_SCAN
+    method). *)
+
+(** {2 Accounting} *)
+
+val mapped_count : t -> int
+val pss_bytes : t -> int
+(** Proportional set size: [page_size / refcount] summed over mappings. *)
+
+val iter_mapped : t -> (vpn:int -> Frame.t -> unit) -> unit
+val mapped_vpns : t -> int list
+(** Sorted. *)

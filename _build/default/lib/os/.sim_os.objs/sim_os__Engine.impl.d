@@ -1,0 +1,1 @@
+lib/os/engine.ml: Array Bytes Char File Float Hashtbl Isa List Machine Mem Option Platform Printf Queue Sig_num Syscall Util

@@ -1,0 +1,1 @@
+lib/os/engine.mli: File Isa Machine Mem Platform Sig_num Syscall

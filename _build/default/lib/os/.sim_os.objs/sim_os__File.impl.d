@@ -1,0 +1,1 @@
+lib/os/file.ml: Buffer Bytes Char Hashtbl Option Util

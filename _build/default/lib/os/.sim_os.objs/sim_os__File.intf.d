@@ -1,0 +1,1 @@
+lib/os/file.mli: Bytes Util

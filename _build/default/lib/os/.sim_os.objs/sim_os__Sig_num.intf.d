@@ -1,0 +1,1 @@
+lib/os/sig_num.mli:

@@ -1,0 +1,192 @@
+(** The simulated operating system and discrete-time execution engine.
+
+    The engine owns the cores of a {!Platform.t}, a process table, the
+    kernel (syscalls, fork, signals, mmap/ASLR), the cache/DRAM timing
+    model, DVFS, and the energy meter. Time advances in fixed quanta
+    (default 20 µs); within a quantum each core executes its current
+    process until the budget runs out or the process traps.
+
+    {b Tracing.} A process spawned with a [tracer] is the ptrace analogue:
+    every trap (syscall entry, nondeterministic instruction, breakpoint,
+    counter overflow, signal delivery, fault, halt) stops the process and
+    synchronously invokes the tracer callback, which inspects and mutates
+    the process through this API and decides whether to {!resume} it.
+    Every traced stop costs [tracer_stop_ns] of wall-clock latency,
+    accounted as runtime work — this is what makes a getpid loop two
+    orders of magnitude slower under tracing (§5.7). Untraced processes
+    get default kernel behaviour (syscalls executed, faults fatal).
+
+    {b Determinism.} All model randomness (ASLR, skid, urandom, …) comes
+    from the seed; equal seeds and equal tracer behaviour give bit-equal
+    simulations. *)
+
+type t
+
+type pid = int
+
+type pstate =
+  | Runnable
+  | Stopped  (** held by the tracer; skipped by the scheduler *)
+  | Exited of int
+
+type event =
+  | Syscall_entry of Syscall.call
+      (** stopped {e on} the syscall instruction, before any effect *)
+  | Nondet of Isa.Insn.t  (** trapped nondeterministic instruction *)
+  | Breakpoint
+  | Branch_overflow
+  | Cycle_overflow
+  | Insn_overflow
+  | Signal of Sig_num.t  (** a signal is about to be delivered *)
+  | Fault of Machine.Cpu.fault
+  | Halted  (** executed [halt] without an exit syscall *)
+
+type tracer = t -> pid -> event -> unit
+
+val create : ?quantum_ns:int -> platform:Platform.t -> seed:int64 -> unit -> t
+val platform : t -> Platform.t
+val fs : t -> File.fs
+val now_ns : t -> int
+val frame_allocator : t -> Mem.Frame.allocator
+
+(** {2 Topology and DVFS} *)
+
+val n_cores : t -> int
+
+val cluster_of_core : t -> int -> int
+(** 0 = big, 1 = little. *)
+
+val big_cores : t -> int list
+val little_cores : t -> int list
+
+val set_dvfs_level : t -> cluster:int -> level:int -> unit
+(** Clamp-free: @raise Invalid_argument on an out-of-range level. *)
+
+val dvfs_level : t -> cluster:int -> int
+
+(** {2 Processes} *)
+
+val spawn : t -> ?tracer:tracer -> program:Isa.Program.t -> core:int -> unit -> pid
+(** Load a program: map its data segments, set the break, open
+    stdout/stderr, randomize the mmap base, and enqueue the process
+    runnable on [core]. Traced processes trap nondeterministic
+    instructions; untraced ones execute them natively. *)
+
+val fork_process : t -> pid -> pid
+(** COW-fork a traced, currently stopped process (the runtime's
+    checkpoint/checker creation). The child starts [Stopped] on the
+    parent's core with the parent's tracer; fork cost (base + per mapped
+    page) is charged to the parent as system time and stop latency. *)
+
+val state : t -> pid -> pstate
+val cpu : t -> pid -> Machine.Cpu.t
+val aspace : t -> pid -> Mem.Address_space.t
+
+val resume : t -> pid -> unit
+(** [Stopped] -> [Runnable]. No-op on a runnable process.
+    @raise Invalid_argument on an exited process. *)
+
+val suspend : t -> pid -> unit
+(** [Runnable] -> [Stopped] (the tracer takes control outside an event,
+    e.g. right after spawning the tracee). No-op on a stopped process.
+    @raise Invalid_argument on an exited process. *)
+
+val force_exit : t -> pid -> status:int -> unit
+(** Retire a process with the given status without running an exit
+    syscall (used when a tracee stops on [halt]). *)
+
+val kill : t -> pid -> unit
+(** Terminate immediately (SIGKILL): frees the address space, records an
+    exit status of [137]. No-op if already exited. *)
+
+val set_core : t -> pid -> core:int -> unit
+(** Migrate (repin) a process. Takes effect at the next scheduling
+    point. *)
+
+val core_of : t -> pid -> int
+
+val send_signal : t -> pid -> Sig_num.t -> unit
+(** Queue an asynchronous (external) signal; the target will stop with a
+    {!Signal} event (traced) or receive default delivery (untraced)
+    before it next runs. *)
+
+val deliver_signal_now : t -> pid -> Sig_num.t -> unit
+(** Immediate delivery to a stopped process: jump to the registered
+    handler (saving pc + registers for [sigreturn]) or apply the default
+    action (termination). Used by the runtime to deliver external
+    signals at a replayed execution point (§4.3.3). *)
+
+val pending_syscall : t -> pid -> Syscall.call
+(** Decode the syscall a process is stopped on. *)
+
+val do_syscall : t -> pid -> unit
+(** Kernel-execute the pending syscall of a stopped process: performs
+    its effects, writes the result register, advances the pc, charges
+    kernel time. The pass-through path for main-process syscalls. *)
+
+val complete_syscall : t -> pid -> result:int -> unit
+(** Tracer-emulated syscall: skip the kernel entirely, set the result
+    register and advance past the syscall instruction. The replay path
+    for checker syscalls (effects are injected separately through
+    {!aspace}). *)
+
+val delay : t -> pid -> ns:float -> unit
+(** Extend the process's stop latency by [ns] (e.g. state-comparison
+    hashing time); accounted as runtime work. *)
+
+val charge_sys_cycles : t -> pid -> int -> unit
+(** Account extra kernel work (in big-core effective cycles) to the
+    process: adds system time and stop latency. *)
+
+(** {2 Time-based callbacks} *)
+
+val add_tick : t -> every_ns:int -> (t -> unit) -> unit
+(** Invoke a callback at quantum granularity, approximately every
+    [every_ns]; used by the pacer (§4.5) and the measurement samplers. *)
+
+(** {2 Running} *)
+
+val step_quantum : t -> unit
+
+val run : ?max_ns:int -> t -> unit
+(** Step until no live (non-exited) process remains or simulated time
+    exceeds [max_ns] (default 10^12 ns). Stopped processes count as live:
+    a tracer that never resumes its tracee will hit the bound. *)
+
+val live_processes : t -> int
+
+(** {2 Measurement} *)
+
+type proc_stats = {
+  state : pstate;
+  user_ns : float;
+  sys_ns : float;
+  started_ns : int;
+  ended_ns : int;  (** meaningful once exited; otherwise [now_ns] *)
+}
+
+val proc_stats : t -> pid -> proc_stats
+
+val energy_j : t -> float
+(** Total SoC + DRAM energy integrated so far. *)
+
+val energy_breakdown_j : t -> (string * float) list
+(** [("big", _); ("little", _); ("dram", _); ("static", _)]. *)
+
+val runtime_work_ns : t -> float
+(** Accumulated tracer-stop and tracer-charged latency — the runtime's
+    own footprint. *)
+
+val pss_bytes : t -> pid list -> int
+(** Summed proportional set size of the given live processes. *)
+
+val dram_accesses : t -> int
+
+val dram_mult : t -> float
+(** Current DRAM-contention latency multiplier. *)
+
+val l2_stats : t -> cluster:int -> int * int
+(** (hits, misses) of a cluster's shared L2 since engine creation. *)
+
+val output : t -> string
+(** Captured stdout of the whole simulation. *)

@@ -1,0 +1,47 @@
+(** Deterministic pseudo-random number generation.
+
+    Every source of modelled nondeterminism in the simulator (performance
+    counter skid, instruction-count overcounting, ASLR, fault injection,
+    /dev/urandom) draws from an explicitly seeded [Rng.t] so that whole
+    simulations are reproducible from a single seed. The generator is
+    SplitMix64, which has a 64-bit state, passes BigCrush, and is trivially
+    splittable. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t]. Used to give each subsystem its own stream so that
+    adding draws in one subsystem does not perturb another. *)
+
+val next_int64 : t -> int64
+(** [next_int64 t] returns the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)]. [bound] must
+    be positive.
+
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] returns a uniform integer in [\[lo, hi\]] inclusive.
+
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] returns a uniform boolean. *)
+
+val bits64 : t -> int
+(** [bits64 t] returns the next output truncated to OCaml's native [int]
+    (63 significant bits). *)

@@ -1,0 +1,25 @@
+(** Small statistics helpers used by the evaluation harness. *)
+
+val geomean : float list -> float
+(** [geomean xs] is the geometric mean of [xs]. All elements must be
+    positive; the empty list yields [1.0] (the neutral element), matching
+    how the paper reports geometric-mean overheads over benchmark suites.
+
+    @raise Invalid_argument if any element is non-positive. *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean; [0.0] on the empty list. *)
+
+val percentage_overhead : baseline:float -> measured:float -> float
+(** [percentage_overhead ~baseline ~measured] is
+    [(measured /. baseline -. 1.) *. 100.].
+
+    @raise Invalid_argument if [baseline <= 0.]. *)
+
+val normalized : baseline:float -> measured:float -> float
+(** [normalized ~baseline ~measured] is [measured /. baseline].
+
+    @raise Invalid_argument if [baseline <= 0.]. *)
+
+val clampf : lo:float -> hi:float -> float -> float
+(** [clampf ~lo ~hi x] clamps [x] to the closed interval. *)

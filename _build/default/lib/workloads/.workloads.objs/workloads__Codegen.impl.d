@@ -1,0 +1,1 @@
+lib/workloads/codegen.ml: Array Bytes Int64 Isa Sim_os Util

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Bytes Isa Sim_os

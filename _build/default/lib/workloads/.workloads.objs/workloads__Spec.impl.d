@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Codegen Hashtbl Int64 List Printf String

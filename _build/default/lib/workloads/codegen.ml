@@ -1,0 +1,266 @@
+(* Register allocation for generated code (r0-r5 are the syscall ABI and
+   freely clobbered around syscalls):
+     r6  = stream pass end / scratch
+     r7  = hot-cycle cursor
+     r8  = gettime countdown
+     r9  = io countdown
+     r10 = scratch / zero for comparisons
+     r11 = inner counter
+     r12 = outer counter
+     r13 = checksum (folded through memory, syscall results and
+           nondeterministic reads — any record/replay bug shows up as a
+           state miscomparison)
+     r15 = memory cursor *)
+
+type pattern =
+  | Chase of {
+      pages : int;
+      hot_pages : int;
+      cold_every : int;
+    }
+  | Stream of {
+      pages : int;
+      write_frac_pct : int;
+      accesses_per_page : int;
+    }
+  | Blocked of { pages : int }
+
+type spec = {
+  pattern : pattern;
+  alu_per_mem : int;
+  store_every : int;
+  outer_iters : int;
+  inner_iters : int;
+  io_every : int;
+  gettime_every : int;
+  rdtsc_every : int;
+  mmap_churn : bool;
+}
+
+let io_buf_addr = 0x8000
+let data_base = 0x100000
+
+(* A single random cycle over [n] slots (Sattolo's algorithm), as the
+   array [next] with [next.(i)] the successor of [i]. *)
+let random_cycle rng n =
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Util.Rng.int rng i in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let next = Array.make n 0 in
+  for i = 0 to n - 1 do
+    next.(perm.(i)) <- perm.((i + 1) mod n)
+  done;
+  next
+
+(* Lay out a pointer-chase cycle: one slot at the start of each page,
+   holding the address of its successor's slot. *)
+let chase_segment rng ~base ~pages ~page_size =
+  let next = random_cycle rng pages in
+  let bytes = Bytes.make (pages * page_size) '\000' in
+  for i = 0 to pages - 1 do
+    Bytes.set_int64_le bytes (i * page_size)
+      (Int64.of_int (base + (next.(i) * page_size)))
+  done;
+  { Isa.Program.base; bytes }
+
+let emit_alu_mix b ~count =
+  (* A dependent chain on the checksum; mixes cheap ops with the odd
+     multiply so compute density resembles real integer code. *)
+  for k = 1 to count do
+    match k mod 4 with
+    | 0 -> Isa.Builder.alu b Isa.Insn.Mul 13 13 (Isa.Insn.Imm 1103515245)
+    | 1 -> Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Imm 12345)
+    | 2 -> Isa.Builder.alu b Isa.Insn.Xor 13 13 (Isa.Insn.Reg 15)
+    | _ -> Isa.Builder.alu b Isa.Insn.Shr 10 13 (Isa.Insn.Imm 3)
+  done
+
+let emit_exit b =
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_exit;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.syscall b
+
+(* write(1, io_buf, 8) with the checksum as payload; the write result is
+   folded back into the checksum. *)
+let emit_io_block b =
+  Isa.Builder.li b 10 io_buf_addr;
+  Isa.Builder.store b 13 10 0;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_write;
+  Isa.Builder.li b 1 1;
+  Isa.Builder.li b 2 io_buf_addr;
+  Isa.Builder.li b 3 8;
+  Isa.Builder.syscall b;
+  Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 0)
+
+let emit_gettime_block b =
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_gettime;
+  Isa.Builder.syscall b;
+  Isa.Builder.alu b Isa.Insn.Xor 13 13 (Isa.Insn.Reg 0)
+
+let emit_rdtsc_block b =
+  Isa.Builder.emit b (Isa.Insn.Rdtsc 10);
+  Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 10)
+
+let emit_mmap_churn b ~page_size =
+  let len = 4 * page_size in
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_mmap;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.li b 2 len;
+  Isa.Builder.li b 3 (Sim_os.Syscall.prot_read lor Sim_os.Syscall.prot_write);
+  Isa.Builder.li b 4 (Sim_os.Syscall.map_private lor Sim_os.Syscall.map_anon);
+  Isa.Builder.li b 5 (-1);
+  Isa.Builder.syscall b;
+  (* Touch every page of the fresh mapping, fold its (replay-fixed)
+     address into the checksum, then release it. *)
+  for p = 0 to 3 do
+    Isa.Builder.store b 13 0 (p * page_size)
+  done;
+  Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 0);
+  Isa.Builder.mov b 1 0;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_munmap;
+  Isa.Builder.li b 2 len;
+  Isa.Builder.syscall b
+
+(* Emit a countdown-gated block: decrement [reg]; when it reaches zero,
+   run [body] and reload [reg] with [period]. Periods <= 0 emit nothing. *)
+let emit_every b ~reg ~period body =
+  if period > 0 then begin
+    let skip = Isa.Builder.fresh_label b in
+    Isa.Builder.alu b Isa.Insn.Sub reg reg (Isa.Insn.Imm 1);
+    Isa.Builder.li b 10 0;
+    Isa.Builder.branch b Isa.Insn.Ne reg 10 skip;
+    body ();
+    Isa.Builder.li b reg period;
+    Isa.Builder.place b skip
+  end
+
+let generate ~name ~seed ~page_size spec =
+  if spec.outer_iters <= 0 || spec.inner_iters <= 0 then
+    invalid_arg "Codegen.generate: iteration counts must be positive";
+  let rng = Util.Rng.create ~seed in
+  let b = Isa.Builder.create () in
+  let data = ref [ { Isa.Program.base = io_buf_addr; bytes = Bytes.make page_size '\000' } ] in
+
+  (* --- data layout + cursor setup ---------------------------------- *)
+  (match spec.pattern with
+  | Chase { pages; hot_pages; _ } ->
+    if pages < 2 then invalid_arg "Codegen.generate: chase needs >= 2 pages";
+    let seg = chase_segment rng ~base:data_base ~pages ~page_size in
+    data := seg :: !data;
+    Isa.Builder.li b 15 data_base;
+    if hot_pages >= 2 then begin
+      let hot_base = data_base + ((pages + 1) * page_size) in
+      let hot = chase_segment rng ~base:hot_base ~pages:hot_pages ~page_size in
+      data := hot :: !data;
+      Isa.Builder.li b 7 hot_base
+    end
+    else Isa.Builder.li b 7 data_base
+  | Stream { pages; _ } | Blocked { pages } ->
+    if pages < 1 then invalid_arg "Codegen.generate: needs >= 1 page";
+    data :=
+      { Isa.Program.base = data_base; bytes = Bytes.make (pages * page_size) '\000' }
+      :: !data;
+    Isa.Builder.li b 15 data_base;
+    Isa.Builder.li b 7 data_base);
+
+  Isa.Builder.li b 13 0;
+  Isa.Builder.li b 12 spec.outer_iters;
+  Isa.Builder.li b 9 (max spec.io_every 1);
+  Isa.Builder.li b 8 (max spec.gettime_every 1);
+  (* r6 is the store countdown when stores are gated, otherwise the
+     rdtsc countdown. *)
+  Isa.Builder.li b 6
+    (if spec.store_every > 0 then spec.store_every else max spec.rdtsc_every 1);
+
+  (* --- outer loop --------------------------------------------------- *)
+  let done_l = Isa.Builder.fresh_label b in
+  let outer = Isa.Builder.here b in
+  Isa.Builder.li b 10 0;
+  Isa.Builder.branch b Isa.Insn.Eq 12 10 done_l;
+
+  (* inner loop: [inner_iters] memory access groups *)
+  Isa.Builder.li b 11 spec.inner_iters;
+  let inner = Isa.Builder.here b in
+  (match spec.pattern with
+  | Chase { hot_pages; cold_every; _ } ->
+    (* One cold (cache-hostile) access per [cold_every] unrolled groups;
+       hot accesses and compute fill the rest. *)
+    for u = 0 to max 0 (cold_every - 1) do
+      if u = 0 then Isa.Builder.load b 15 15 0;
+      if hot_pages >= 2 then begin
+        Isa.Builder.load b 7 7 0;
+        Isa.Builder.load b 7 7 0
+      end;
+      emit_alu_mix b ~count:spec.alu_per_mem
+    done;
+    if spec.store_every > 0 then
+      emit_every b ~reg:6 ~period:spec.store_every (fun () ->
+          Isa.Builder.store b 13 15 8)
+  | Stream { pages; write_frac_pct; accesses_per_page } ->
+    (* [accesses_per_page] consecutive accesses per page before moving
+       on; the cursor wraps at the end of the array. *)
+    let stride = max 8 (page_size / max 1 accesses_per_page) in
+    let limit = data_base + (pages * page_size) in
+    (* Unroll 4 accesses with stores interleaved per write fraction. *)
+    let stores = write_frac_pct * 4 / 100 in
+    for u = 0 to 3 do
+      if u < stores then Isa.Builder.store b 13 15 0
+      else begin
+        Isa.Builder.load b 10 15 0;
+        Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 10)
+      end;
+      emit_alu_mix b ~count:spec.alu_per_mem;
+      Isa.Builder.alu b Isa.Insn.Add 15 15 (Isa.Insn.Imm stride);
+      (* wrap *)
+      let no_wrap = Isa.Builder.fresh_label b in
+      Isa.Builder.li b 10 limit;
+      Isa.Builder.branch b Isa.Insn.Lt 15 10 no_wrap;
+      Isa.Builder.li b 15 data_base;
+      Isa.Builder.place b no_wrap
+    done
+  | Blocked { pages } ->
+    let limit = data_base + (pages * page_size) in
+    Isa.Builder.load b 10 15 0;
+    Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 10);
+    emit_alu_mix b ~count:spec.alu_per_mem;
+    if spec.store_every > 0 then
+      emit_every b ~reg:6 ~period:spec.store_every (fun () ->
+          Isa.Builder.store b 13 15 8);
+    Isa.Builder.alu b Isa.Insn.Add 15 15 (Isa.Insn.Imm 64);
+    let no_wrap = Isa.Builder.fresh_label b in
+    Isa.Builder.li b 10 (limit - 16);
+    Isa.Builder.branch b Isa.Insn.Lt 15 10 no_wrap;
+    Isa.Builder.li b 15 data_base;
+    Isa.Builder.place b no_wrap);
+  Isa.Builder.alu b Isa.Insn.Sub 11 11 (Isa.Insn.Imm 1);
+  Isa.Builder.li b 10 0;
+  Isa.Builder.branch b Isa.Insn.Ne 11 10 inner;
+
+  (* periodic system interaction *)
+  emit_every b ~reg:9 ~period:spec.io_every (fun () -> emit_io_block b);
+  emit_every b ~reg:8 ~period:spec.gettime_every (fun () -> emit_gettime_block b);
+  if spec.rdtsc_every > 0 && spec.store_every = 0 then
+    (* r6 is free of store duty; reuse it for the rdtsc countdown. *)
+    emit_every b ~reg:6 ~period:spec.rdtsc_every (fun () -> emit_rdtsc_block b);
+  if spec.mmap_churn then emit_mmap_churn b ~page_size;
+
+  (* Register recycling, as compiled code does constantly: scratch and
+     argument registers are redefined every outer iteration, so a fault
+     injected into one of them is usually overwritten (benign) rather
+     than surviving to the segment-end comparison — the §5.6 benign
+     class. *)
+  Isa.Builder.mov b 10 13;
+  Isa.Builder.li b 14 0;
+  Isa.Builder.mov b 4 11;
+  Isa.Builder.mov b 5 12;
+  Isa.Builder.alu b Isa.Insn.Sub 12 12 (Isa.Insn.Imm 1);
+  Isa.Builder.jump b outer;
+
+  Isa.Builder.place b done_l;
+  (* Final output: write the checksum once, then exit 0. *)
+  emit_io_block b;
+  emit_exit b;
+  Isa.Builder.build ~name ~data:!data b

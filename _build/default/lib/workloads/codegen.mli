@@ -1,0 +1,63 @@
+(** Workload code generators.
+
+    SPEC CPU2006 cannot be redistributed, so each benchmark in the
+    evaluation is stood in for by a generated program that reproduces the
+    trait that matters to Parallaft: its memory behaviour (working-set
+    size relative to the big/little cache capacities, store rate — which
+    drives dirty pages and hence COW/checkpoint cost), its compute
+    density (which sets the little-core slowdown), its run structure
+    (number of separate inputs) and its system interaction (stdout
+    writes, time queries, occasional nondeterministic instructions).
+
+    Three access patterns cover the suite:
+    - {!constructor:Chase}: a random pointer cycle across many pages — the
+      cache-hostile, latency-bound pattern (mcf, omnetpp, astar, ...).
+    - {!constructor:Stream}: page-strided sequential sweeps — the
+      bandwidth-bound pattern (lbm, libquantum, milc, ...).
+    - {!constructor:Blocked}: a small resident buffer with dense compute —
+      the cache-friendly pattern (sjeng, namd, hmmer, ...).
+
+    Register conventions inside generated code: r0-r5 syscall ABI,
+    r6-r13 workload state, r14 reserved by [Isa.Builder.loop], r15 the
+    memory cursor. *)
+
+type pattern =
+  | Chase of {
+      pages : int;  (** footprint of the pointer cycle, in pages *)
+      hot_pages : int;  (** a second, small cycle visited more often *)
+      cold_every : int;
+          (** one cold (big-cycle) access per [cold_every] access groups;
+              tunes how latency-bound the benchmark is and hence its
+              little-core slowdown *)
+    }
+  | Stream of {
+      pages : int;
+      write_frac_pct : int;  (** percentage of memory ops that store *)
+      accesses_per_page : int;
+          (** spatial locality: accesses before moving to the next page *)
+    }
+  | Blocked of { pages : int }
+
+type spec = {
+  pattern : pattern;
+  alu_per_mem : int;  (** ALU instructions per memory access *)
+  store_every : int;
+      (** for [Chase]/[Blocked]: a store accompanies every n-th access
+          (0 = never) — the dirty-page knob *)
+  outer_iters : int;  (** iterations of the outer (IO) loop *)
+  inner_iters : int;  (** memory accesses per outer iteration *)
+  io_every : int;  (** outer iterations between stdout writes (0 = never) *)
+  gettime_every : int;  (** outer iterations between gettime calls (0 = never) *)
+  rdtsc_every : int;  (** outer iterations between rdtsc (0 = never) *)
+  mmap_churn : bool;
+      (** allocate + touch + free an anonymous mapping each outer
+          iteration (gcc-style allocator behaviour; exercises mmap/ASLR
+          record-and-replay) *)
+}
+
+val generate :
+  name:string -> seed:int64 -> page_size:int -> spec -> Isa.Program.t
+(** Build the program. [seed] fixes the chase permutation (different
+    inputs of one benchmark use different seeds). The data image is laid
+    out for [page_size]; a program generated for one platform must not be
+    run on another. *)

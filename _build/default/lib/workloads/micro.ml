@@ -1,0 +1,112 @@
+let getpid_loop ~iters =
+  if iters <= 0 then invalid_arg "Micro.getpid_loop: iters <= 0";
+  let b = Isa.Builder.create () in
+  Isa.Builder.li b 12 iters;
+  Isa.Builder.li b 13 0;
+  let loop = Isa.Builder.here b in
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_getpid;
+  Isa.Builder.syscall b;
+  Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 0);
+  Isa.Builder.alu b Isa.Insn.Sub 12 12 (Isa.Insn.Imm 1);
+  Isa.Builder.li b 10 0;
+  Isa.Builder.branch b Isa.Insn.Ne 12 10 loop;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_exit;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.syscall b;
+  Isa.Builder.build ~name:"micro.getpid" b
+
+let path_addr = 0x2000
+let buf_addr = 0x100000
+
+let devzero_reader ~block_bytes ~blocks =
+  if block_bytes <= 0 || blocks <= 0 then
+    invalid_arg "Micro.devzero_reader: sizes must be positive";
+  let b = Isa.Builder.create () in
+  let path = Bytes.of_string "/dev/zero" in
+  (* open("/dev/zero") *)
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_open;
+  Isa.Builder.li b 1 path_addr;
+  Isa.Builder.li b 2 (Bytes.length path);
+  Isa.Builder.li b 3 0;
+  Isa.Builder.syscall b;
+  Isa.Builder.mov b 7 0;
+  (* buffer via mmap (fixed-size, ASLR-placed) *)
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_mmap;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.li b 2 block_bytes;
+  Isa.Builder.li b 3 (Sim_os.Syscall.prot_read lor Sim_os.Syscall.prot_write);
+  Isa.Builder.li b 4 (Sim_os.Syscall.map_private lor Sim_os.Syscall.map_anon);
+  Isa.Builder.li b 5 (-1);
+  Isa.Builder.syscall b;
+  Isa.Builder.mov b 6 0;
+  ignore buf_addr;
+  (* read loop *)
+  Isa.Builder.li b 12 blocks;
+  let loop = Isa.Builder.here b in
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_read;
+  Isa.Builder.mov b 1 7;
+  Isa.Builder.mov b 2 6;
+  Isa.Builder.li b 3 block_bytes;
+  Isa.Builder.syscall b;
+  Isa.Builder.alu b Isa.Insn.Add 13 13 (Isa.Insn.Reg 0);
+  Isa.Builder.alu b Isa.Insn.Sub 12 12 (Isa.Insn.Imm 1);
+  Isa.Builder.li b 10 0;
+  Isa.Builder.branch b Isa.Insn.Ne 12 10 loop;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_exit;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.syscall b;
+  Isa.Builder.build ~name:"micro.devzero"
+    ~data:[ { Isa.Program.base = path_addr; bytes = path } ]
+    b
+
+let counter_addr = 0x3000
+
+(* Layout: instruction 0 jumps to main; the handler body starts at index 1
+   so [sigaction] can name it with a literal. *)
+let sigusr1_handler_pc = 1
+
+let sigusr1_spin ~handled =
+  if handled <= 0 then invalid_arg "Micro.sigusr1_spin: handled <= 0";
+  let b = Isa.Builder.create () in
+  let main = Isa.Builder.fresh_label b in
+  Isa.Builder.jump b main;
+  (* handler: counter++ ; sigreturn *)
+  assert (Isa.Builder.pos b = sigusr1_handler_pc);
+  Isa.Builder.li b 10 counter_addr;
+  Isa.Builder.load b 11 10 0;
+  Isa.Builder.alu b Isa.Insn.Add 11 11 (Isa.Insn.Imm 1);
+  Isa.Builder.store b 11 10 0;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_sigreturn;
+  Isa.Builder.syscall b;
+  (* main *)
+  Isa.Builder.place b main;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_sigaction;
+  Isa.Builder.li b 1 Sim_os.Sig_num.sigusr1;
+  Isa.Builder.li b 2 sigusr1_handler_pc;
+  Isa.Builder.syscall b;
+  Isa.Builder.li b 9 counter_addr;
+  Isa.Builder.li b 8 handled;
+  let spin = Isa.Builder.here b in
+  Isa.Builder.load b 11 9 0;
+  Isa.Builder.branch b Isa.Insn.Lt 11 8 spin;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_exit;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.syscall b;
+  Isa.Builder.build ~name:"micro.sigusr1"
+    ~data:[ { Isa.Program.base = counter_addr; bytes = Bytes.make 8 '\000' } ]
+    b
+
+let hello () =
+  let msg = Bytes.of_string "hello from the sphere of replication\n" in
+  let b = Isa.Builder.create () in
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_write;
+  Isa.Builder.li b 1 1;
+  Isa.Builder.li b 2 0x2000;
+  Isa.Builder.li b 3 (Bytes.length msg);
+  Isa.Builder.syscall b;
+  Isa.Builder.li b 0 Sim_os.Syscall.nr_exit;
+  Isa.Builder.li b 1 0;
+  Isa.Builder.syscall b;
+  Isa.Builder.build ~name:"micro.hello"
+    ~data:[ { Isa.Program.base = 0x2000; bytes = msg } ]
+    b

@@ -1,0 +1,35 @@
+(** The SPEC CPU2006 stand-in suite.
+
+    One entry per benchmark appearing in the paper's figures, with the
+    published run structure (number of reference inputs) and a generator
+    profile matching the benchmark's memory/compute character — see
+    DESIGN.md for the substitution argument. Working-set sizes are chosen
+    relative to the modelled cache capacities: "gap" benchmarks (working
+    set fits the big cluster's L2 but not the little cluster's) are the
+    ones whose checkers fall behind on little cores, exactly the mcf /
+    milc / lbm story in §5.2-5.3. *)
+
+type category = Int_suite | Fp_suite
+
+type t = {
+  name : string;
+  category : category;
+  inputs : int;  (** reference inputs = separate sequential processes *)
+  description : string;
+  base_outer : int;  (** outer iterations per input at scale 1.0 *)
+  spec : Codegen.spec;  (** iteration counts here are per input *)
+}
+
+val all : t list
+(** The 16 benchmarks, SPEC numbering order. *)
+
+val names : string list
+
+val find : string -> t option
+
+val programs : t -> page_size:int -> scale:float -> Isa.Program.t list
+(** One program per input. [scale] multiplies outer iteration counts
+    (clamped to at least 1); input [i] uses a distinct data seed.
+    Registry footprints are in 16 KiB-page units; they are converted so
+    the byte footprint is page-size independent (4x the pages on 4 KiB
+    Intel — the paper's checkpointing-cost argument, §5.8). *)

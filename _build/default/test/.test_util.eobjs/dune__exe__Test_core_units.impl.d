@@ -1,0 +1,1 @@
+test/test_core_units.ml: Alcotest Int64 Isa List Machine Mem Parallaft Printf QCheck QCheck_alcotest Sim_os Util

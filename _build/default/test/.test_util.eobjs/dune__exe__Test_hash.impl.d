@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Bytes Char Ftr_hash Gen Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bytes Isa List QCheck QCheck_alcotest String

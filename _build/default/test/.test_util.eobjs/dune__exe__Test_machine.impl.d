@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Int64 Isa List Machine Mem Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Gen List Mem QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Isa List Platform Printf Sim_os

@@ -1,0 +1,1 @@
+test/test_parallaft.ml: Alcotest Bytes Int64 Isa List Parallaft Platform Printf QCheck QCheck_alcotest Sim_os String Workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytes Isa List Mem Platform Sim_os String Workloads

@@ -1,0 +1,134 @@
+let hex = Printf.sprintf "%Lx"
+
+(* Published XXH64 test vectors. *)
+let test_xxh64_empty () =
+  Alcotest.(check string) "xxh64(\"\")" "ef46db3751d8e999"
+    (hex (Ftr_hash.Xxh64.hash (Bytes.of_string "")))
+
+let test_xxh64_a () =
+  Alcotest.(check string) "xxh64(\"a\")" "d24ec4f1a98c6e5b"
+    (hex (Ftr_hash.Xxh64.hash (Bytes.of_string "a")))
+
+let test_xxh64_abc () =
+  Alcotest.(check string) "xxh64(\"abc\")" "44bc2cf5ad770999"
+    (hex (Ftr_hash.Xxh64.hash (Bytes.of_string "abc")))
+
+let test_xxh64_seeded_differs () =
+  let b = Bytes.of_string "hello, world" in
+  Alcotest.(check bool) "seed changes digest" true
+    (Ftr_hash.Xxh64.hash ~seed:0L b <> Ftr_hash.Xxh64.hash ~seed:1L b)
+
+let test_xxh64_long_input_stable () =
+  (* Longer than one 32-byte stripe; pins the wide-input code path. *)
+  let b = Bytes.init 1000 (fun i -> Char.chr (i land 0xFF)) in
+  let h1 = Ftr_hash.Xxh64.hash b in
+  let h2 = Ftr_hash.Xxh64.hash (Bytes.copy b) in
+  Alcotest.(check int64) "pure function" h1 h2;
+  Bytes.set b 500 'X';
+  Alcotest.(check bool) "sensitive to one byte" true
+    (Ftr_hash.Xxh64.hash b <> h1)
+
+let test_xxh64_sub_matches_whole () =
+  let b = Bytes.of_string "0123456789abcdef0123456789abcdef0123456789" in
+  let whole = Ftr_hash.Xxh64.hash (Bytes.sub b 5 20) in
+  let sub = Ftr_hash.Xxh64.hash_sub b ~pos:5 ~len:20 in
+  Alcotest.(check int64) "hash_sub consistent" whole sub
+
+let test_xxh64_sub_invalid () =
+  let b = Bytes.create 10 in
+  try
+    ignore (Ftr_hash.Xxh64.hash_sub b ~pos:5 ~len:6);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_streaming_matches_oneshot () =
+  let b = Bytes.init 777 (fun i -> Char.chr ((i * 7) land 0xFF)) in
+  let st = Ftr_hash.Xxh64.init () in
+  Ftr_hash.Xxh64.update st b ~pos:0 ~len:100;
+  Ftr_hash.Xxh64.update st b ~pos:100 ~len:1;
+  Ftr_hash.Xxh64.update st b ~pos:101 ~len:676;
+  Alcotest.(check int64) "streamed = one-shot" (Ftr_hash.Xxh64.hash b)
+    (Ftr_hash.Xxh64.digest st)
+
+let test_streaming_empty () =
+  let st = Ftr_hash.Xxh64.init () in
+  Alcotest.(check int64) "empty stream" (Ftr_hash.Xxh64.hash Bytes.empty)
+    (Ftr_hash.Xxh64.digest st)
+
+let test_streaming_int64 () =
+  let st1 = Ftr_hash.Xxh64.init () in
+  Ftr_hash.Xxh64.update_int64 st1 0x0102030405060708L;
+  let expect = Bytes.create 8 in
+  Bytes.set_int64_le expect 0 0x0102030405060708L;
+  Alcotest.(check int64) "int64 = 8 LE bytes" (Ftr_hash.Xxh64.hash expect)
+    (Ftr_hash.Xxh64.digest st1)
+
+let test_fnv_known () =
+  (* FNV-1a 64 of "a" is the standard 0xaf63dc4c8601ec8c. *)
+  Alcotest.(check string) "fnv1a(\"a\")" "af63dc4c8601ec8c"
+    (hex (Ftr_hash.Fnv64.hash (Bytes.of_string "a")))
+
+let test_fnv_sub () =
+  let b = Bytes.of_string "xxhelloxx" in
+  Alcotest.(check int64) "sub-range"
+    (Ftr_hash.Fnv64.hash (Bytes.of_string "hello"))
+    (Ftr_hash.Fnv64.hash_sub b ~pos:2 ~len:5)
+
+let test_fnv_combine_order_sensitive () =
+  let h0 = 0xCBF29CE484222325L in
+  let a = Ftr_hash.Fnv64.combine (Ftr_hash.Fnv64.combine h0 1L) 2L in
+  let b = Ftr_hash.Fnv64.combine (Ftr_hash.Fnv64.combine h0 2L) 1L in
+  Alcotest.(check bool) "order matters" true (a <> b)
+
+let qcheck_streaming_split =
+  QCheck.Test.make ~name:"xxh64 streaming invariant under chunking" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) (int_bound 200))
+    (fun (s, cut) ->
+      let b = Bytes.of_string s in
+      let n = Bytes.length b in
+      let cut = if n = 0 then 0 else cut mod (n + 1) in
+      let st = Ftr_hash.Xxh64.init () in
+      Ftr_hash.Xxh64.update st b ~pos:0 ~len:cut;
+      Ftr_hash.Xxh64.update st b ~pos:cut ~len:(n - cut);
+      Ftr_hash.Xxh64.digest st = Ftr_hash.Xxh64.hash b)
+
+let qcheck_avalanche =
+  QCheck.Test.make ~name:"xxh64 single-bit flips change the digest" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 100)) (pair small_nat small_nat))
+    (fun (s, (byte_idx, bit)) ->
+      let b = Bytes.of_string s in
+      let i = byte_idx mod Bytes.length b in
+      let bit = bit mod 8 in
+      let h1 = Ftr_hash.Xxh64.hash b in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      h1 <> Ftr_hash.Xxh64.hash b)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "hash"
+    [
+      ( "xxh64",
+        [
+          tc "vector: empty" `Quick test_xxh64_empty;
+          tc "vector: a" `Quick test_xxh64_a;
+          tc "vector: abc" `Quick test_xxh64_abc;
+          tc "seeded" `Quick test_xxh64_seeded_differs;
+          tc "long input" `Quick test_xxh64_long_input_stable;
+          tc "hash_sub" `Quick test_xxh64_sub_matches_whole;
+          tc "hash_sub invalid" `Quick test_xxh64_sub_invalid;
+        ] );
+      ( "streaming",
+        [
+          tc "matches one-shot" `Quick test_streaming_matches_oneshot;
+          tc "empty" `Quick test_streaming_empty;
+          tc "update_int64" `Quick test_streaming_int64;
+          QCheck_alcotest.to_alcotest qcheck_streaming_split;
+          QCheck_alcotest.to_alcotest qcheck_avalanche;
+        ] );
+      ( "fnv64",
+        [
+          tc "known vector" `Quick test_fnv_known;
+          tc "sub-range" `Quick test_fnv_sub;
+          tc "combine order" `Quick test_fnv_combine_order_sensitive;
+        ] );
+    ]

@@ -1,0 +1,346 @@
+(* Unit tests of the CPU interpreter and its monitoring hardware. *)
+
+let page_size = 4096
+
+let null_env =
+  {
+    Machine.Cpu.core_id = 0;
+    read_tsc = (fun () -> 12345);
+    read_rand = (fun () -> 777);
+    mem_access = (fun ~write:_ ~frame:_ -> 0);
+    mem_access_cow = (fun ~frame:_ ~old_frame:_ -> 0);
+    cow_extra_cycles = 100;
+    mul_cycles = 3;
+    div_cycles = 12;
+  }
+
+let make_cpu ?(seed = 1L) src =
+  let program = Isa.Asm.assemble_exn src in
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  List.iter
+    (fun { Isa.Program.base; bytes } ->
+      Mem.Address_space.write_bytes_map aspace ~addr:base bytes)
+    program.Isa.Program.data;
+  Machine.Cpu.create ~rng:(Util.Rng.create ~seed) ~program ~aspace ()
+
+let run ?(max_cycles = 1_000_000) cpu = Machine.Cpu.run cpu ~env:null_env ~max_cycles
+
+let test_arithmetic () =
+  let cpu =
+    make_cpu
+      {|
+        li r1, 10
+        li r2, 3
+        add r3, r1, r2     ; 13
+        sub r4, r1, r2     ; 7
+        mul r5, r1, r2     ; 30
+        div r6, r1, r2     ; 3
+        rem r7, r1, r2     ; 1
+        and r8, r1, r2     ; 2
+        or r9, r1, r2      ; 11
+        xor r10, r1, r2    ; 9
+        shl r11, r1, 2     ; 40
+        shr r12, r1, 1     ; 5
+        halt
+      |}
+  in
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Halted -> ()
+  | _ -> Alcotest.fail "did not halt");
+  let reg = Machine.Cpu.get_reg cpu in
+  List.iter
+    (fun (r, expected) -> Alcotest.(check int) (Printf.sprintf "r%d" r) expected (reg r))
+    [ (3, 13); (4, 7); (5, 30); (6, 3); (7, 1); (8, 2); (9, 11); (10, 9);
+      (11, 40); (12, 5) ]
+
+let test_branches_and_counter () =
+  (* A loop with a known branch count: 10 iterations of bne + the final
+     not-taken bne = 10 branches total (retired branches count taken and
+     not-taken alike). *)
+  let cpu =
+    make_cpu
+      {|
+        li r1, 10
+        li r2, 0
+      loop:
+        sub r1, r1, 1
+        bne r1, r2, loop
+        halt
+      |}
+  in
+  ignore (run cpu);
+  Alcotest.(check int) "branch counter" 10 (Machine.Cpu.branches cpu)
+
+let test_branch_counter_deterministic () =
+  let count seed =
+    let cpu = make_cpu ~seed "li r1, 100\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt" in
+    ignore (run cpu);
+    Machine.Cpu.branches cpu
+  in
+  Alcotest.(check int) "independent of noise seed" (count 1L) (count 999L)
+
+let test_memory_roundtrip () =
+  let cpu =
+    make_cpu
+      {|
+      .zero 0x1000 4096
+        li r1, 0x1000
+        li r2, 424242
+        store r2, r1, 16
+        load r3, r1, 16
+        store8 r3, r1, 100
+        load8 r4, r1, 100
+        halt
+      |}
+  in
+  ignore (run cpu);
+  Alcotest.(check int) "load64" 424242 (Machine.Cpu.get_reg cpu 3);
+  Alcotest.(check int) "load8 truncates" (424242 land 0xFF)
+    (Machine.Cpu.get_reg cpu 4)
+
+let test_segv_reported () =
+  let cpu = make_cpu "li r1, 0x800000\nload r2, r1, 0\nhalt" in
+  let res = run cpu in
+  match res.Machine.Cpu.stop with
+  | Machine.Cpu.Fault_stop (Machine.Cpu.Segv { addr = 0x800000; write = false }) -> ()
+  | _ -> Alcotest.fail "expected Segv"
+
+let test_bad_pc_on_wild_jump () =
+  let cpu = make_cpu "li r1, 99999\njr r1\nhalt" in
+  let res = run cpu in
+  match res.Machine.Cpu.stop with
+  | Machine.Cpu.Fault_stop (Machine.Cpu.Bad_pc 99999) -> ()
+  | _ -> Alcotest.fail "expected Bad_pc"
+
+let test_syscall_stops_on_insn () =
+  let cpu = make_cpu "li r0, 9\nsyscall\nhalt" in
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Syscall_stop -> ()
+  | _ -> Alcotest.fail "expected Syscall_stop");
+  Alcotest.(check int) "pc on syscall" 1 (Machine.Cpu.get_pc cpu);
+  (* Completing the syscall is the tracer's job; emulate and continue. *)
+  Machine.Cpu.set_reg cpu 0 42;
+  Machine.Cpu.set_pc cpu 2;
+  let res = run cpu in
+  match res.Machine.Cpu.stop with
+  | Machine.Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt after resume"
+
+let test_nondet_untrapped_executes () =
+  let cpu = make_cpu "rdtsc r1\nrdcoreid r2\nrdrand r3\nhalt" in
+  ignore (run cpu);
+  Alcotest.(check int) "tsc from env" 12345 (Machine.Cpu.get_reg cpu 1);
+  Alcotest.(check int) "coreid from env" 0 (Machine.Cpu.get_reg cpu 2);
+  Alcotest.(check int) "rand from env" 777 (Machine.Cpu.get_reg cpu 3)
+
+let test_nondet_trapped () =
+  let cpu = make_cpu "rdtsc r1\nhalt" in
+  Machine.Cpu.set_nondet_trap cpu true;
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Nondet_stop (Isa.Insn.Rdtsc 1) -> ()
+  | _ -> Alcotest.fail "expected Nondet_stop");
+  (* Tracer emulates. *)
+  Machine.Cpu.set_reg cpu 1 555;
+  Machine.Cpu.set_pc cpu 1;
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check int) "emulated value survives" 555 (Machine.Cpu.get_reg cpu 1)
+
+let test_breakpoint () =
+  let cpu = make_cpu "li r1, 1\nli r2, 2\nli r3, 3\nhalt" in
+  Machine.Cpu.set_breakpoint cpu 2;
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Breakpoint_stop -> ()
+  | _ -> Alcotest.fail "expected Breakpoint_stop");
+  Alcotest.(check int) "pc at bp" 2 (Machine.Cpu.get_pc cpu);
+  Alcotest.(check int) "r3 not yet written" 0 (Machine.Cpu.get_reg cpu 3);
+  (* Resume without clearing: must not re-trap on the same spot. *)
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check int) "r3 written after resume" 3 (Machine.Cpu.get_reg cpu 3)
+
+let test_breakpoint_in_loop_retraps () =
+  let cpu =
+    make_cpu "li r1, 3\nli r2, 0\nloop:\nsub r1, r1, 1\nbne r1, r2, loop\nhalt"
+  in
+  Machine.Cpu.set_breakpoint cpu 2;
+  let hits = ref 0 in
+  let rec go () =
+    let res = run cpu in
+    match res.Machine.Cpu.stop with
+    | Machine.Cpu.Breakpoint_stop ->
+      incr hits;
+      go ()
+    | Machine.Cpu.Halted -> ()
+    | _ -> Alcotest.fail "unexpected stop"
+  in
+  go ();
+  Alcotest.(check int) "hit once per iteration" 3 !hits
+
+let test_branch_overflow_with_skid () =
+  (* The overflow must arrive at or after the target (never before) and
+     within max_skid branches of it. *)
+  let src = "li r1, 1000\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt" in
+  for seed = 1 to 20 do
+    let cpu = make_cpu ~seed:(Int64.of_int seed) src in
+    Machine.Cpu.arm_branch_overflow cpu ~target:100;
+    let res = run cpu in
+    (match res.Machine.Cpu.stop with
+    | Machine.Cpu.Counter_overflow_stop -> ()
+    | _ -> Alcotest.fail "expected overflow");
+    let b = Machine.Cpu.branches cpu in
+    if b < 100 || b > 100 + Machine.Cpu.max_skid cpu then
+      Alcotest.failf "overflow at %d branches (target 100, max skid %d)" b
+        (Machine.Cpu.max_skid cpu)
+  done
+
+let test_cycle_overflow () =
+  let cpu = make_cpu "li r1, 100000\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt" in
+  Machine.Cpu.arm_cycle_overflow cpu ~target:5000;
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Cycle_overflow_stop -> ()
+  | _ -> Alcotest.fail "expected cycle overflow");
+  Alcotest.(check bool) "at/after target" true (Machine.Cpu.cycles cpu >= 5000)
+
+let test_insn_overflow () =
+  let cpu = make_cpu "li r1, 100000\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt" in
+  Machine.Cpu.arm_insn_overflow cpu ~target:1000;
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Insn_overflow_stop -> ()
+  | _ -> Alcotest.fail "expected insn overflow");
+  Alcotest.(check bool) "at/after target" true
+    (Machine.Cpu.instructions cpu >= 1000)
+
+let test_insn_counter_overcounts_on_traps () =
+  (* Two CPUs running the same program with syscall traps but different
+     noise seeds disagree on the instruction counter — the nondeterminism
+     that rules instruction counts out for execution-point replay. *)
+  let src =
+    "li r5, 50\nli r6, 0\nl:\nli r0, 9\nsyscall\nsub r5, r5, 1\nbne r5, r6, l\nhalt"
+  in
+  let final_count seed =
+    let cpu = make_cpu ~seed src in
+    let rec go () =
+      let res = run cpu in
+      match res.Machine.Cpu.stop with
+      | Machine.Cpu.Syscall_stop ->
+        Machine.Cpu.set_reg cpu 0 0;
+        Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
+        go ()
+      | Machine.Cpu.Halted -> Machine.Cpu.instructions cpu
+      | _ -> Alcotest.fail "unexpected stop"
+    in
+    go ()
+  in
+  let counts = List.init 8 (fun i -> final_count (Int64.of_int (i + 1))) in
+  let distinct = List.sort_uniq compare counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "counts vary across seeds (%d distinct)" (List.length distinct))
+    true
+    (List.length distinct > 1)
+
+let test_fork_copies_arch_state () =
+  let cpu = make_cpu "li r1, 7\nli r2, 9\nhalt" in
+  ignore (run cpu);
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace2 = Mem.Address_space.create alloc in
+  let child =
+    Machine.Cpu.fork cpu ~rng:(Util.Rng.create ~seed:5L) ~aspace:aspace2
+  in
+  Alcotest.(check int) "regs copied" 7 (Machine.Cpu.get_reg child 1);
+  Alcotest.(check int) "pc copied" (Machine.Cpu.get_pc cpu) (Machine.Cpu.get_pc child);
+  Alcotest.(check int) "counters reset" 0 (Machine.Cpu.branches child)
+
+let test_fault_injection_flips_bit () =
+  let cpu = make_cpu "li r1, 0\nnop\nnop\nnop\nhalt" in
+  Machine.Cpu.arm_fault_injection cpu ~after_instructions:2 ~reg:1 ~bit:4;
+  ignore (run cpu);
+  Alcotest.(check bool) "injected" true (Machine.Cpu.fault_injected cpu);
+  Alcotest.(check int) "bit 4 flipped" 16 (Machine.Cpu.get_reg cpu 1)
+
+let test_fault_injection_validation () =
+  let cpu = make_cpu "halt" in
+  (try
+     Machine.Cpu.arm_fault_injection cpu ~after_instructions:0 ~reg:99 ~bit:0;
+     Alcotest.fail "bad reg accepted"
+   with Invalid_argument _ -> ());
+  try
+    Machine.Cpu.arm_fault_injection cpu ~after_instructions:0 ~reg:0 ~bit:63;
+    Alcotest.fail "bad bit accepted"
+  with Invalid_argument _ -> ()
+
+let test_cow_cycles_counted_as_sys () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:page_size
+    Mem.Page_table.Read_write;
+  let program =
+    Isa.Asm.assemble_exn "li r1, 0\nli r2, 5\nstore r2, r1, 0\nhalt"
+  in
+  let cpu =
+    Machine.Cpu.create ~rng:(Util.Rng.create ~seed:1L) ~program ~aspace ()
+  in
+  (* Fork so the store COWs. *)
+  let _child = Mem.Address_space.fork aspace in
+  let res = run cpu in
+  ignore res;
+  Alcotest.(check bool) "sys cycles charged" true
+    (Machine.Cpu.sys_cycles_total cpu >= 100)
+
+let qcheck_register_ops =
+  QCheck.Test.make ~name:"add/sub roundtrip at machine level" ~count:200
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let src = Printf.sprintf "li r1, %d\nli r2, %d\nadd r3, r1, r2\nsub r4, r3, r2\nhalt" a b in
+      let cpu = make_cpu src in
+      ignore (run cpu);
+      Machine.Cpu.get_reg cpu 4 = a && Machine.Cpu.get_reg cpu 3 = a + b)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "machine"
+    [
+      ( "exec",
+        [
+          tc "arithmetic" `Quick test_arithmetic;
+          tc "memory roundtrip" `Quick test_memory_roundtrip;
+          tc "segv" `Quick test_segv_reported;
+          tc "bad pc" `Quick test_bad_pc_on_wild_jump;
+          tc "syscall stop" `Quick test_syscall_stops_on_insn;
+          QCheck_alcotest.to_alcotest qcheck_register_ops;
+        ] );
+      ( "counters",
+        [
+          tc "branch count exact" `Quick test_branches_and_counter;
+          tc "branch counter deterministic" `Quick test_branch_counter_deterministic;
+          tc "branch overflow + skid bounded" `Quick test_branch_overflow_with_skid;
+          tc "cycle overflow" `Quick test_cycle_overflow;
+          tc "insn overflow" `Quick test_insn_overflow;
+          tc "insn counter overcounts" `Quick test_insn_counter_overcounts_on_traps;
+        ] );
+      ( "tracing",
+        [
+          tc "nondet untrapped" `Quick test_nondet_untrapped_executes;
+          tc "nondet trapped" `Quick test_nondet_trapped;
+          tc "breakpoint" `Quick test_breakpoint;
+          tc "breakpoint re-traps in loop" `Quick test_breakpoint_in_loop_retraps;
+        ] );
+      ( "fork-and-faults",
+        [
+          tc "fork copies arch state" `Quick test_fork_copies_arch_state;
+          tc "fault injection" `Quick test_fault_injection_flips_bit;
+          tc "fault injection validation" `Quick test_fault_injection_validation;
+          tc "cow charges sys cycles" `Quick test_cow_cycles_counted_as_sys;
+        ] );
+    ]

@@ -1,0 +1,286 @@
+let page_size = 4096
+
+let fresh_pt () =
+  Mem.Page_table.create (Mem.Frame.allocator ~page_size)
+
+let fresh_as () = Mem.Address_space.create (Mem.Frame.allocator ~page_size)
+
+let test_frame_refcounting () =
+  let a = Mem.Frame.allocator ~page_size in
+  let f = Mem.Frame.alloc_zero a in
+  Alcotest.(check int) "live" 1 (Mem.Frame.live_frames a);
+  Mem.Frame.incref f;
+  Mem.Frame.decref a f;
+  Alcotest.(check int) "still live" 1 (Mem.Frame.live_frames a);
+  Mem.Frame.decref a f;
+  Alcotest.(check int) "freed" 0 (Mem.Frame.live_frames a);
+  try
+    Mem.Frame.decref a f;
+    Alcotest.fail "double free accepted"
+  with Invalid_argument _ -> ()
+
+let test_frame_alloc_validation () =
+  (try
+     ignore (Mem.Frame.allocator ~page_size:0);
+     Alcotest.fail "zero page size accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Mem.Frame.allocator ~page_size:100);
+    Alcotest.fail "non-multiple-of-8 accepted"
+  with Invalid_argument _ -> ()
+
+let test_pt_map_unmap () =
+  let pt = fresh_pt () in
+  Mem.Page_table.map_zero pt ~vpn:3 Mem.Page_table.Read_write;
+  Alcotest.(check bool) "mapped" true (Mem.Page_table.is_mapped pt ~vpn:3);
+  (try
+     Mem.Page_table.map_zero pt ~vpn:3 Mem.Page_table.Read_write;
+     Alcotest.fail "double map accepted"
+   with Invalid_argument _ -> ());
+  Mem.Page_table.unmap pt ~vpn:3;
+  Alcotest.(check bool) "unmapped" false (Mem.Page_table.is_mapped pt ~vpn:3);
+  try
+    Mem.Page_table.unmap pt ~vpn:3;
+    Alcotest.fail "double unmap accepted"
+  with Invalid_argument _ -> ()
+
+let test_pt_fault_on_unmapped () =
+  let pt = fresh_pt () in
+  try
+    ignore (Mem.Page_table.read_frame pt ~vpn:9);
+    Alcotest.fail "expected Page_fault"
+  with Mem.Page_table.Page_fault { vpn = 9; write = false } -> ()
+
+let test_pt_read_only_write_faults () =
+  let pt = fresh_pt () in
+  Mem.Page_table.map_zero pt ~vpn:1 Mem.Page_table.Read_only;
+  try
+    ignore (Mem.Page_table.store_prepare pt ~vpn:1);
+    Alcotest.fail "expected Page_fault"
+  with Mem.Page_table.Page_fault { vpn = 1; write = true } -> ()
+
+let test_cow_fork_isolation () =
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:page_size
+    Mem.Page_table.Read_write;
+  Mem.Address_space.store64 aspace 0 111;
+  let child = Mem.Address_space.fork aspace in
+  (* Child sees the parent's value... *)
+  Alcotest.(check int) "child inherits" 111 (Mem.Address_space.load64 child 0);
+  (* ...writes are isolated both ways... *)
+  Mem.Address_space.store64 child 0 222;
+  Alcotest.(check int) "parent unaffected" 111 (Mem.Address_space.load64 aspace 0);
+  Mem.Address_space.store64 aspace 8 333;
+  Alcotest.(check int) "child unaffected" 0 (Mem.Address_space.load64 child 8)
+
+let test_cow_copy_counted () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(4 * page_size)
+    Mem.Page_table.Read_write;
+  let child = Mem.Address_space.fork aspace in
+  let copies0 = Mem.Frame.copies alloc in
+  (* First write to a shared page copies it; the second does not. *)
+  Mem.Address_space.store64 child 0 1;
+  Alcotest.(check bool) "cow flagged" true (Mem.Address_space.last_cow child);
+  Mem.Address_space.store64 child 8 2;
+  Alcotest.(check bool) "second write no cow" false
+    (Mem.Address_space.last_cow child);
+  Alcotest.(check int) "exactly one copy" (copies0 + 1) (Mem.Frame.copies alloc)
+
+let test_soft_dirty () =
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(4 * page_size)
+    Mem.Page_table.Read_write;
+  let pt = Mem.Address_space.page_table aspace in
+  Mem.Page_table.clear_soft_dirty pt;
+  Alcotest.(check (list int)) "clean after clear" []
+    (Mem.Page_table.soft_dirty_pages pt);
+  Mem.Address_space.store64 aspace (2 * page_size) 7;
+  Mem.Address_space.store8 aspace 5 1;
+  Alcotest.(check (list int)) "exactly the written pages" [ 0; 2 ]
+    (Mem.Page_table.soft_dirty_pages pt);
+  (* Reads never dirty. *)
+  ignore (Mem.Address_space.load64 aspace (3 * page_size));
+  Alcotest.(check (list int)) "reads don't dirty" [ 0; 2 ]
+    (Mem.Page_table.soft_dirty_pages pt)
+
+let test_map_count_tracking () =
+  (* The PAGEMAP_SCAN method: after a fork, only written pages have map
+     count 1. *)
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(4 * page_size)
+    Mem.Page_table.Read_write;
+  let child = Mem.Address_space.fork aspace in
+  let child_pt = Mem.Address_space.page_table child in
+  Alcotest.(check (list int)) "all shared after fork" []
+    (Mem.Page_table.uniquely_mapped child_pt);
+  Mem.Address_space.store64 child (page_size * 3) 9;
+  Alcotest.(check (list int)) "written page unique" [ 3 ]
+    (Mem.Page_table.uniquely_mapped child_pt)
+
+let test_dirty_mechanisms_agree_after_fork () =
+  (* Soft-dirty (cleared at fork time) and map-count must agree on pages
+     written after a fork — the property that makes the two tracking
+     backends interchangeable in the comparator. *)
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(8 * page_size)
+    Mem.Page_table.Read_write;
+  let child = Mem.Address_space.fork aspace in
+  let child_pt = Mem.Address_space.page_table child in
+  Mem.Page_table.clear_soft_dirty child_pt;
+  Mem.Address_space.store64 child (page_size * 1) 1;
+  Mem.Address_space.store64 child (page_size * 5) 2;
+  Mem.Address_space.store8 child ((page_size * 6) + 100) 3;
+  Alcotest.(check (list int)) "soft-dirty = map-count"
+    (Mem.Page_table.soft_dirty_pages child_pt)
+    (Mem.Page_table.uniquely_mapped child_pt)
+
+let test_pss () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(2 * page_size)
+    Mem.Page_table.Read_write;
+  let pt = Mem.Address_space.page_table aspace in
+  Alcotest.(check int) "sole owner" (2 * page_size) (Mem.Page_table.pss_bytes pt);
+  let child = Mem.Address_space.fork aspace in
+  Alcotest.(check int) "halved when shared" page_size
+    (Mem.Page_table.pss_bytes pt);
+  Mem.Address_space.store64 child 0 5;
+  (* Child copied page 0: child owns one page fully, shares one. *)
+  Alcotest.(check int) "child pss"
+    (page_size + (page_size / 2))
+    (Mem.Page_table.pss_bytes (Mem.Address_space.page_table child))
+
+let test_unaligned_access_across_pages () =
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(2 * page_size)
+    Mem.Page_table.Read_write;
+  let addr = page_size - 4 in
+  Mem.Address_space.store64 aspace addr 0x1122334455667788;
+  Alcotest.(check int) "straddling store/load roundtrip" 0x1122334455667788
+    (Mem.Address_space.load64 aspace addr)
+
+let test_read_write_bytes () =
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(2 * page_size)
+    Mem.Page_table.Read_write;
+  let data = Bytes.of_string "hello across a page boundary" in
+  ignore (Mem.Address_space.write_bytes aspace ~addr:(page_size - 5) data);
+  let back =
+    Mem.Address_space.read_bytes aspace ~addr:(page_size - 5)
+      ~len:(Bytes.length data)
+  in
+  Alcotest.(check string) "roundtrip" (Bytes.to_string data) (Bytes.to_string back)
+
+let test_write_bytes_map () =
+  let aspace = fresh_as () in
+  Mem.Address_space.write_bytes_map aspace ~addr:(10 * page_size)
+    (Bytes.of_string "auto-mapped");
+  Alcotest.(check string) "loader path maps pages" "auto-mapped"
+    (Bytes.to_string
+       (Mem.Address_space.read_bytes aspace ~addr:(10 * page_size) ~len:11))
+
+let test_segfault_exn () =
+  let aspace = fresh_as () in
+  try
+    ignore (Mem.Address_space.load64 aspace 0xdead000);
+    Alcotest.fail "expected Segfault"
+  with Mem.Address_space.Segfault { write = false; _ } -> ()
+
+let test_fifo_cache_basics () =
+  let c = Mem.Fifo_cache.create ~capacity:2 in
+  Alcotest.(check bool) "first touch misses" false (Mem.Fifo_cache.touch c 1);
+  Alcotest.(check bool) "second touch hits" true (Mem.Fifo_cache.touch c 1);
+  ignore (Mem.Fifo_cache.touch c 2);
+  ignore (Mem.Fifo_cache.touch c 3);
+  (* capacity 2: exactly one of {1, 2} was evicted to admit 3 *)
+  Alcotest.(check bool) "newest resident" true (Mem.Fifo_cache.mem c 3);
+  Alcotest.(check int) "one eviction"
+    2
+    (List.length (List.filter (Mem.Fifo_cache.mem c) [ 1; 2; 3 ]));
+  Alcotest.(check int) "hits" 1 (Mem.Fifo_cache.hits c);
+  Alcotest.(check int) "misses" 3 (Mem.Fifo_cache.misses c)
+
+let test_fifo_cache_clear () =
+  let c = Mem.Fifo_cache.create ~capacity:4 in
+  ignore (Mem.Fifo_cache.touch c 1);
+  Mem.Fifo_cache.clear c;
+  Alcotest.(check bool) "cleared" false (Mem.Fifo_cache.mem c 1);
+  Alcotest.(check int) "counters reset" 0 (Mem.Fifo_cache.misses c)
+
+let qcheck_cow_preserves_parent =
+  QCheck.Test.make ~name:"random child writes never leak to parent" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (pair (int_bound (4 * 4096 - 9)) int))
+    (fun writes ->
+      let aspace = fresh_as () in
+      Mem.Address_space.map_range aspace ~addr:0 ~len:(4 * 4096)
+        Mem.Page_table.Read_write;
+      List.iteri (fun i (addr, _) -> Mem.Address_space.store64 aspace addr i) writes;
+      let snapshot =
+        Mem.Address_space.read_bytes aspace ~addr:0 ~len:(4 * 4096)
+      in
+      let child = Mem.Address_space.fork aspace in
+      List.iter (fun (addr, v) -> Mem.Address_space.store64 child addr v) writes;
+      let after = Mem.Address_space.read_bytes aspace ~addr:0 ~len:(4 * 4096) in
+      Bytes.equal snapshot after)
+
+let qcheck_soft_dirty_covers_writes =
+  QCheck.Test.make ~name:"soft-dirty covers every written page" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 30) (int_bound (8 * 4096 - 9)))
+    (fun addrs ->
+      let aspace = fresh_as () in
+      Mem.Address_space.map_range aspace ~addr:0 ~len:(8 * 4096)
+        Mem.Page_table.Read_write;
+      let pt = Mem.Address_space.page_table aspace in
+      Mem.Page_table.clear_soft_dirty pt;
+      List.iter (fun a -> Mem.Address_space.store64 aspace a 1) addrs;
+      let dirty = Mem.Page_table.soft_dirty_pages pt in
+      List.for_all
+        (fun a ->
+          List.mem (a / 4096) dirty
+          && List.mem ((a + 7) / 4096) dirty)
+        addrs)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "mem"
+    [
+      ( "frame",
+        [
+          tc "refcounting" `Quick test_frame_refcounting;
+          tc "allocator validation" `Quick test_frame_alloc_validation;
+        ] );
+      ( "page_table",
+        [
+          tc "map/unmap" `Quick test_pt_map_unmap;
+          tc "fault on unmapped" `Quick test_pt_fault_on_unmapped;
+          tc "read-only faults" `Quick test_pt_read_only_write_faults;
+        ] );
+      ( "cow",
+        [
+          tc "fork isolation" `Quick test_cow_fork_isolation;
+          tc "copies counted" `Quick test_cow_copy_counted;
+          QCheck_alcotest.to_alcotest qcheck_cow_preserves_parent;
+        ] );
+      ( "dirty-tracking",
+        [
+          tc "soft-dirty" `Quick test_soft_dirty;
+          tc "map-count" `Quick test_map_count_tracking;
+          tc "mechanisms agree" `Quick test_dirty_mechanisms_agree_after_fork;
+          QCheck_alcotest.to_alcotest qcheck_soft_dirty_covers_writes;
+        ] );
+      ( "address_space",
+        [
+          tc "pss" `Quick test_pss;
+          tc "unaligned across pages" `Quick test_unaligned_access_across_pages;
+          tc "read/write bytes" `Quick test_read_write_bytes;
+          tc "write_bytes_map" `Quick test_write_bytes_map;
+          tc "segfault" `Quick test_segfault_exn;
+        ] );
+      ( "fifo_cache",
+        [
+          tc "basics" `Quick test_fifo_cache_basics;
+          tc "clear" `Quick test_fifo_cache_clear;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+let test_rng_deterministic () =
+  let a = Util.Rng.create ~seed:42L in
+  let b = Util.Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.next_int64 a)
+      (Util.Rng.next_int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Util.Rng.create ~seed:1L in
+  let b = Util.Rng.create ~seed:2L in
+  Alcotest.(check bool) "different first draw" true
+    (Util.Rng.next_int64 a <> Util.Rng.next_int64 b)
+
+let test_rng_bounds () =
+  let r = Util.Rng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int_in r ~lo:5 ~hi:7 in
+    if v < 5 || v > 7 then Alcotest.failf "int_in out of bounds: %d" v
+  done
+
+let test_rng_invalid () =
+  let r = Util.Rng.create ~seed:1L in
+  (try
+     ignore (Util.Rng.int r 0);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Util.Rng.int_in r ~lo:3 ~hi:2);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_rng_split_independent () =
+  let parent = Util.Rng.create ~seed:5L in
+  let child = Util.Rng.split parent in
+  (* Splitting must not replay the parent stream. *)
+  let c = Util.Rng.next_int64 child and p = Util.Rng.next_int64 parent in
+  Alcotest.(check bool) "distinct streams" true (c <> p)
+
+let test_rng_copy () =
+  let a = Util.Rng.create ~seed:11L in
+  ignore (Util.Rng.next_int64 a);
+  let b = Util.Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Util.Rng.next_int64 a)
+    (Util.Rng.next_int64 b)
+
+let test_rng_float_range () =
+  let r = Util.Rng.create ~seed:3L in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean of [2;8]" 4.0 (Util.Stats.geomean [ 2.0; 8.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean singleton" 3.0 (Util.Stats.geomean [ 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 1.0 (Util.Stats.geomean []);
+  try
+    ignore (Util.Stats.geomean [ 1.0; 0.0 ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_mean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Util.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Util.Stats.mean [])
+
+let test_overhead () =
+  Alcotest.(check (float 1e-9)) "overhead 20%" 20.0
+    (Util.Stats.percentage_overhead ~baseline:10.0 ~measured:12.0);
+  Alcotest.(check (float 1e-9)) "normalized" 1.2
+    (Util.Stats.normalized ~baseline:10.0 ~measured:12.0);
+  try
+    ignore (Util.Stats.percentage_overhead ~baseline:0.0 ~measured:1.0);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_clampf () =
+  Alcotest.(check (float 0.0)) "below" 1.0 (Util.Stats.clampf ~lo:1.0 ~hi:2.0 0.5);
+  Alcotest.(check (float 0.0)) "above" 2.0 (Util.Stats.clampf ~lo:1.0 ~hi:2.0 9.0);
+  Alcotest.(check (float 0.0)) "inside" 1.5 (Util.Stats.clampf ~lo:1.0 ~hi:2.0 1.5)
+
+let test_table_render () =
+  let out =
+    Util.Table.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "long-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "has 4+ lines" true (List.length lines >= 4);
+  (* All non-empty lines share the same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_bar_chart () =
+  let out = Util.Table.bar_chart ~width:10 [ ("x", 10.0); ("y", 5.0) ] in
+  Alcotest.(check bool) "x has full bar" true
+    (String.length out > 0
+    && String.split_on_char '\n' out |> List.hd |> fun l ->
+       String.contains l '#')
+
+let test_grouped_bar_chart () =
+  let out =
+    Util.Table.grouped_bar_chart ~group_labels:[ "A"; "B" ]
+      [ ("bench", [ 3.0; 4.0 ]) ]
+  in
+  Alcotest.(check bool) "legend present" true
+    (String.length out > 0 && String.sub out 0 1 = "#");
+  try
+    ignore
+      (Util.Table.grouped_bar_chart ~group_labels:[ "A" ] [ ("x", [ 1.0; 2.0 ]) ]);
+    Alcotest.fail "expected Invalid_argument on ragged rows"
+  with Invalid_argument _ -> ()
+
+let test_stacked_bar_chart () =
+  let out =
+    Util.Table.stacked_bar_chart ~component_labels:[ "p"; "q" ]
+      [ ("row", [ 1.0; 2.0 ]) ]
+  in
+  Alcotest.(check bool) "non-empty" true (String.length out > 0)
+
+let qcheck_rng_uniformish =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair int64 small_nat)
+    (fun (seed, bound) ->
+      let bound = bound + 1 in
+      let r = Util.Rng.create ~seed in
+      let v = Util.Rng.int r bound in
+      v >= 0 && v < bound)
+
+let qcheck_geomean_scale =
+  QCheck.Test.make ~name:"geomean scales linearly" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 10) (float_range 0.1 100.0))
+    (fun xs ->
+      let g = Util.Stats.geomean xs in
+      let g2 = Util.Stats.geomean (List.map (fun x -> 2.0 *. x) xs) in
+      Float.abs (g2 -. (2.0 *. g)) < 1e-6 *. Float.max 1.0 g2)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          tc "deterministic" `Quick test_rng_deterministic;
+          tc "seeds differ" `Quick test_rng_seeds_differ;
+          tc "bounds" `Quick test_rng_bounds;
+          tc "invalid args" `Quick test_rng_invalid;
+          tc "split independent" `Quick test_rng_split_independent;
+          tc "copy replays" `Quick test_rng_copy;
+          tc "float range" `Quick test_rng_float_range;
+          QCheck_alcotest.to_alcotest qcheck_rng_uniformish;
+        ] );
+      ( "stats",
+        [
+          tc "geomean" `Quick test_geomean;
+          tc "mean" `Quick test_mean;
+          tc "overhead" `Quick test_overhead;
+          tc "clampf" `Quick test_clampf;
+          QCheck_alcotest.to_alcotest qcheck_geomean_scale;
+        ] );
+      ( "table",
+        [
+          tc "render aligns" `Quick test_table_render;
+          tc "bar chart" `Quick test_bar_chart;
+          tc "grouped bar chart" `Quick test_grouped_bar_chart;
+          tc "stacked bar chart" `Quick test_stacked_bar_chart;
+        ] );
+    ]
