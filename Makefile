@@ -1,0 +1,34 @@
+# Convenience entry points; `make ci` is what the harness runs.
+
+.PHONY: all build test fmt-check smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting is advisory: the check runs only where ocamlformat is
+# installed (it is not baked into the minimal CI image), so a missing
+# binary skips rather than fails.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
+# One traced run end to end: exercises --trace/--metrics outside the
+# dune sandbox and leaves the artifacts in /tmp for inspection.
+smoke: build
+	dune exec -- parallaft --platform testing --workload getpid \
+	  --period 3000 --trace /tmp/parallaft_trace.json \
+	  --metrics /tmp/parallaft_metrics.txt
+	@echo "trace: /tmp/parallaft_trace.json (open in ui.perfetto.dev)"
+
+ci: build test fmt-check smoke
+
+clean:
+	dune clean

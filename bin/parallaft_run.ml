@@ -9,7 +9,15 @@
 
    On completion it dumps the statistics keys the paper's artifact
    documents (timing.all_wall_time, counter.checkpoint_count,
-   fixed_interval_slicer.nr_slices, ...). *)
+   fixed_interval_slicer.nr_slices, ...).
+
+   Observability: [--trace FILE] writes a Chrome/Perfetto trace_event
+   JSON of the run (open in ui.perfetto.dev or chrome://tracing),
+   [--metrics FILE] a plain-text metric summary (per-segment histograms
+   and counters). Traces are keyed on simulated time, so equal seeds
+   give byte-identical files. [--fault SEG,DELAY,REG,BIT] arms a single
+   fault injection (handy for demonstrating detection events in a
+   trace). *)
 
 open Cmdliner
 
@@ -27,8 +35,14 @@ let mode_of_string = function
   | "raft" -> Ok Mode_raft
   | s -> Error (`Msg ("unknown mode " ^ s))
 
+let fault_of_string s =
+  match String.split_on_char ',' s |> List.map int_of_string_opt with
+  | [ Some segment; Some delay_instructions; Some reg; Some bit ] ->
+    Ok { Parallaft.Config.segment; delay_instructions; reg; bit }
+  | _ -> Error (`Msg ("bad fault plan " ^ s ^ " (want SEG,DELAY,REG,BIT)"))
+
 let run platform_name mode_name period scale workload input asm_file seed
-    show_output =
+    show_output trace_file metrics_file fault =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -69,9 +83,41 @@ let run platform_name mode_name period scale workload input asm_file seed
           ^ String.concat " " Workloads.Spec.names);
         1
       | Some program -> (
+        let sink =
+          if trace_file <> None || metrics_file <> None then
+            Some (Obs.Sink.create ())
+          else None
+        in
+        (* Returns false (and complains) if an output file can't be
+           written, so the run exits non-zero instead of crashing after
+           the simulation already completed. *)
+        let dump_obs sink =
+          try
+            (match (trace_file, sink) with
+            | Some path, Some s ->
+              Obs.Export.write_file ~path
+                (Obs.Export.chrome_json s.Obs.Sink.trace)
+            | _ -> ());
+            (match (metrics_file, sink) with
+            | Some path, Some s ->
+              Obs.Export.write_file ~path
+                (Obs.Export.summary s.Obs.Sink.trace
+                ^ Obs.Metrics.to_text s.Obs.Sink.metrics)
+            | _ -> ());
+            true
+          with Sys_error msg ->
+            Printf.eprintf "parallaft: %s\n" msg;
+            false
+        in
         match mode with
         | Mode_baseline ->
-          let b = Parallaft.Runtime.run_baseline ~seed ~platform ~program () in
+          let before_run eng _pid =
+            match sink with Some s -> Sim_os.Engine.set_obs eng s | None -> ()
+          in
+          let b =
+            Parallaft.Runtime.run_baseline ~seed ~before_run ~platform ~program ()
+          in
+          let dumped = dump_obs sink in
           Printf.printf "timing.all_wall_time %d\n" b.Parallaft.Runtime.wall_ns;
           Printf.printf "timing.main_wall_time %d\n" b.Parallaft.Runtime.wall_ns;
           Printf.printf "timing.main_user_time %.0f\n" b.Parallaft.Runtime.user_ns;
@@ -82,7 +128,7 @@ let run platform_name mode_name period scale workload input asm_file seed
             | Some s -> string_of_int s
             | None -> "none");
           if show_output then print_string b.Parallaft.Runtime.output;
-          0
+          if dumped then 0 else 1
         | Mode_parallaft | Mode_raft ->
           let config =
             match mode with
@@ -90,7 +136,11 @@ let run platform_name mode_name period scale workload input asm_file seed
               Parallaft.Config.parallaft ~platform ?slice_period:period ()
             | Mode_raft | Mode_baseline -> Parallaft.Config.raft ~platform ()
           in
+          let config =
+            { config with Parallaft.Config.obs = sink; fault_plan = fault }
+          in
           let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
+          let dumped = dump_obs r.Parallaft.Runtime.obs in
           List.iter
             (fun (k, v) -> Printf.printf "%s %s\n" k v)
             (Parallaft.Stats.to_assoc r.Parallaft.Runtime.stats);
@@ -108,7 +158,9 @@ let run platform_name mode_name period scale workload input asm_file seed
                 (Parallaft.Detection.outcome_to_string o))
             r.Parallaft.Runtime.detections;
           if show_output then print_string r.Parallaft.Runtime.output;
-          if r.Parallaft.Runtime.detections <> [] then 3 else 0)))
+          if not dumped then 1
+          else if r.Parallaft.Runtime.detections <> [] then 3
+          else 0)))
 
 let platform_arg =
   Arg.(value & opt string "apple_m2" & info [ "platform" ] ~docv:"NAME"
@@ -143,11 +195,28 @@ let seed_arg =
 let show_output_arg =
   Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's stdout.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome/Perfetto trace_event JSON of the run to $(docv).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write a plain-text span/metric summary of the run to $(docv).")
+
+let fault_arg =
+  let fault_conv =
+    Arg.conv (fault_of_string, fun ppf _ -> Format.fprintf ppf "<fault>")
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SEG,DELAY,REG,BIT"
+         ~doc:"Arm one fault injection: flip $(i,BIT) of $(i,REG) in the checker \
+               of segment $(i,SEG) after $(i,DELAY) instructions.")
+
 let cmd =
   let term =
     Term.(
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
-      $ input_arg $ asm_arg $ seed_arg $ show_output_arg)
+      $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
+      $ metrics_arg $ fault_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

@@ -34,6 +34,7 @@ type t = {
   fault_plan : fault_plan option;
   recovery : bool;
   max_recoveries : int;
+  obs : Obs.Sink.t option;
 }
 
 let default_slice_period (_ : Platform.t) = 250_000
@@ -63,6 +64,7 @@ let parallaft ~platform ?slice_period () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    obs = None;
   }
 
 let raft ~platform () =
@@ -82,4 +84,5 @@ let raft ~platform () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    obs = None;
   }

@@ -61,6 +61,11 @@ type t = {
   max_recoveries : int;
       (** abort anyway after this many rollbacks (a persistent hard
           fault would otherwise loop forever) *)
+  obs : Obs.Sink.t option;
+      (** observability sink (event trace + metrics). [None] (the
+          default) makes every emit site in the engine, coordinator and
+          scheduler a no-op, so tracing is zero-cost unless requested.
+          See DESIGN.md "Observability" for the event taxonomy. *)
 }
 
 val parallaft : platform:Platform.t -> ?slice_period:int -> unit -> t

@@ -19,6 +19,7 @@ type segment = {
   mutable state : seg_state;
   mutable launched : bool;  (* checker already scheduled (RAFT streaming) *)
   mutable checker_waiting : bool;  (* checker stalled on a not-yet-recorded event *)
+  mutable launched_at_ns : int;  (* sim time the checker was handed to the scheduler *)
 }
 
 type role =
@@ -70,6 +71,22 @@ let sched t = Option.get t.sched
 
 let plat t = E.platform t.eng
 
+(* ------------------------------------------------------------------ *)
+(* Observability: every emit compiles to a single option check when no
+   sink is configured. Timestamps are simulated time, never wall clock. *)
+
+let emit_ev t ~track ~phase ?args name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.emit s ~ts_ns:(E.time_ns t.eng) ~track ~phase ?args name
+
+let observe t name v =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.observe s name v
+
+let main_track t = Obs.Trace.Core t.cfg.Config.main_core
+
 let big_eff_hz t =
   let big = Platform.big_cluster (plat t) in
   Platform.effective_hz big ~level:big.Platform.default_level
@@ -114,6 +131,7 @@ let arm_slice t =
 (* Kill every process we own; ends the simulation. *)
 let abort_run t =
   t.aborted <- true;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
   List.iter
     (fun seg ->
       (match E.state t.eng seg.checker with
@@ -157,11 +175,15 @@ let start_segment t =
       state = Recording;
       launched = false;
       checker_waiting = false;
+      launched_at_ns = 0;
     }
   in
   t.next_id <- t.next_id + 1;
   Hashtbl.replace t.roles checker (Checker_role seg);
   t.cur <- Some seg;
+  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Begin
+    ~args:[ ("seg", Obs.Trace.Int seg.id); ("checker", Obs.Trace.Int checker) ]
+    "segment";
   (* RAFT runs its (single) checker concurrently with the main process,
      streaming the R/R log; the checker blocks whenever it reaches an
      event that has not been recorded yet. Parallaft instead launches
@@ -170,6 +192,10 @@ let start_segment t =
   | Config.Raft ->
     seg.cursor <- Some (Rr_log.cursor seg.log);
     seg.launched <- true;
+    seg.launched_at_ns <- E.time_ns t.eng;
+    emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
+      ~args:[ ("seg", Obs.Trace.Int seg.id) ]
+      "check";
     Scheduler.enqueue (sched t) checker
   | Config.Parallaft -> ());
   let cpu = main_cpu t in
@@ -211,7 +237,22 @@ let launch_checker t seg =
   seg.state <- Checking;
   t.stats.Stats.segment_insn_deltas <-
     seg.insn_delta :: t.stats.Stats.segment_insn_deltas;
-  if not seg.launched then Scheduler.enqueue (sched t) seg.checker
+  observe t "segment.insns" (float_of_int seg.insn_delta);
+  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int seg.id);
+        ("targets", Obs.Trace.Int (List.length targets));
+        ("insns", Obs.Trace.Int seg.insn_delta);
+      ]
+    "replay.start";
+  if not seg.launched then begin
+    seg.launched_at_ns <- E.time_ns t.eng;
+    emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Begin
+      ~args:[ ("seg", Obs.Trace.Int seg.id) ]
+      "check";
+    Scheduler.enqueue (sched t) seg.checker
+  end
   else if seg.checker_waiting then begin
     (* The streaming checker is stalled at its next interaction. Resuming
        re-raises the stop: if it is resting on the segment-end pc the
@@ -232,12 +273,21 @@ let end_segment t =
       seg.main_dirty <- Dirty_tracker.collect t.cfg.Config.dirty_backend pt;
       t.stats.Stats.dirty_pages_total <-
         t.stats.Stats.dirty_pages_total + List.length seg.main_dirty;
+      observe t "segment.dirty_pages" (float_of_int (List.length seg.main_dirty));
       charge_scan t t.main
         ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt);
       let snapshot = E.fork_process t.eng t.main in
       seg.snapshot <- Some snapshot;
       t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1
     end;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
+      ~args:
+        [
+          ("seg", Obs.Trace.Int seg.id);
+          ("insns", Obs.Trace.Int seg.insn_delta);
+          ("dirty_pages", Obs.Trace.Int (List.length seg.main_dirty));
+        ]
+      "segment";
     t.cur <- None;
     t.live <- t.live @ [ seg ];
     t.stats.Stats.segments_total <- t.stats.Stats.segments_total + 1;
@@ -247,6 +297,9 @@ let live_count t = List.length t.live
 
 let on_main_exited t =
   t.main_exited <- true;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:[ ("live_segments", Obs.Trace.Int (List.length t.live)) ]
+    "main.exit";
   let st = E.proc_stats t.eng t.main in
   t.stats.Stats.main_wall_ns <-
     float_of_int (st.E.ended_ns - st.E.started_ns);
@@ -264,6 +317,9 @@ let do_boundary t =
 let boundary t =
   if live_count t >= t.cfg.Config.max_live_segments then begin
     t.pending_boundary <- true;
+    emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+      ~args:[ ("live_segments", Obs.Trace.Int (live_count t)) ]
+      "main.held";
     Scheduler.set_main_held (sched t) true
     (* main stays stopped until a segment completes *)
   end
@@ -322,6 +378,14 @@ let record_and_pass t call =
   charge_record t t.main ~bytes;
   Rr_log.record (current_log t) (Rr_log.Sys { call; in_data; result; effects });
   t.stats.Stats.syscalls_recorded <- t.stats.Stats.syscalls_recorded + 1;
+  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("call", Obs.Trace.Str (Sim_os.Syscall.name call));
+        ("bytes", Obs.Trace.Int bytes);
+      ]
+    "sys.record";
+  observe t "record.bytes" (float_of_int bytes);
   wake_waiting_checker t;
   E.resume t.eng t.main
 
@@ -368,15 +432,22 @@ let handle_main_event t ev =
     let value = emulate_nondet t t.main insn in
     Rr_log.record (current_log t) (Rr_log.Nondet { insn; value });
     t.stats.Stats.nondet_recorded <- t.stats.Stats.nondet_recorded + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant "nondet.record";
     wake_waiting_checker t;
     E.resume t.eng t.main
   | E.Cycle_overflow | E.Insn_overflow ->
     t.stats.Stats.nr_slices <- t.stats.Stats.nr_slices + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+      ~args:[ ("nr", Obs.Trace.Int t.stats.Stats.nr_slices) ]
+      "slice";
     boundary t
   | E.Signal signum -> (
     Rr_log.record (current_log t)
       (Rr_log.Ext_signal { at = exec_point_now t; signum });
     t.stats.Stats.signals_recorded <- t.stats.Stats.signals_recorded + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+      ~args:[ ("signum", Obs.Trace.Int signum) ]
+      "signal.record";
     E.deliver_signal_now t.eng t.main signum;
     match E.state t.eng t.main with
     | E.Exited _ ->
@@ -400,6 +471,16 @@ let handle_main_event t ev =
 
 let record_error t seg outcome =
   Stats.record_detection t.stats ~segment:seg.id outcome;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int seg.id);
+        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
+      ]
+    "detection";
+  (match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.incr s "detections");
   if t.first_error = None then t.first_error <- Some (seg.id, outcome)
 
 let kill_if_alive t pid =
@@ -432,6 +513,13 @@ let note_verified t seg =
    that checkpoint are re-executed (the §3.4 buffered-IO assumption). *)
 let recover t =
   t.stats.Stats.recoveries <- t.stats.Stats.recoveries + 1;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("nr", Obs.Trace.Int t.stats.Stats.recoveries);
+        ("verified_prefix", Obs.Trace.Int t.verified_prefix);
+      ]
+    "recovery";
   (* Tear down everything derived from the (possibly corrupt) state. *)
   List.iter
     (fun seg ->
@@ -481,6 +569,19 @@ let finish_checker t seg outcome_opt =
   (match outcome_opt with
   | Some o -> record_error t seg o
   | None -> ());
+  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.End
+    ~args:
+      [
+        ("seg", Obs.Trace.Int seg.id);
+        ( "outcome",
+          Obs.Trace.Str
+            (match outcome_opt with
+            | Some o -> Detection.outcome_to_string o
+            | None -> "ok") );
+      ]
+    "check";
+  observe t "checker.latency_ns"
+    (float_of_int (E.time_ns t.eng - seg.launched_at_ns));
   kill_if_alive t seg.checker;
   let failed = outcome_opt <> None in
   (if t.cfg.Config.recovery && not failed then note_verified t seg
@@ -533,6 +634,19 @@ let reached_end t seg =
       charge_hash t seg.checker ~bytes;
       t.stats.Stats.bytes_hashed <- t.stats.Stats.bytes_hashed + bytes;
       t.stats.Stats.segments_compared <- t.stats.Stats.segments_compared + 1;
+      emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
+        ~args:
+          [
+            ("seg", Obs.Trace.Int seg.id);
+            ("bytes", Obs.Trace.Int bytes);
+            ( "verdict",
+              Obs.Trace.Str
+                (match verdict with
+                | Comparator.Match -> "match"
+                | Comparator.Mismatch _ -> "mismatch") );
+          ]
+        "compare";
+      observe t "compare.bytes" (float_of_int bytes);
       finish_checker t seg
         (match verdict with
         | Comparator.Match -> None
@@ -607,6 +721,9 @@ let replay_process_local t seg (rec_ : Rr_log.sys_record) call =
   else E.resume t.eng seg.checker
 
 let checker_syscall t seg call =
+  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
+    ~args:[ ("call", Obs.Trace.Str (Sim_os.Syscall.name call)) ]
+    "sys.replay";
   match seg.cursor with
   | None ->
     fail_checker t seg
@@ -756,6 +873,9 @@ let create eng cfg ~program =
       verified_prefix = -1;
     }
   in
+  (match cfg.Config.obs with
+  | Some sink -> E.set_obs eng sink
+  | None -> ());
   t.sched <- Some (Scheduler.create eng cfg t.stats);
   let tracer eng' pid ev =
     ignore eng';

@@ -12,6 +12,7 @@ type report = {
   runtime_work_ns : float;
   cow_copies : int;
   dram_accesses : int;
+  obs : Obs.Sink.t option;
 }
 
 type baseline = {
@@ -39,7 +40,7 @@ let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
   in
   {
     stats;
-    detections = List.rev stats.Stats.detections;
+    detections = Stats.detections_oldest_first stats;
     aborted = Coordinator.aborted coord;
     exit_status;
     output = E.output eng;
@@ -49,6 +50,7 @@ let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
     runtime_work_ns = E.runtime_work_ns eng;
     cow_copies = Mem.Frame.copies (E.frame_allocator eng);
     dram_accesses = E.dram_accesses eng;
+    obs = config.Config.obs;
   }
 
 let run_baseline ?(seed = 42L) ?before_run ~platform ~program () =

@@ -41,6 +41,17 @@ let create eng cfg stats =
 
 let is_little t core = List.mem core t.little
 
+let emit_ev t ~track ~phase ?args name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.emit s ~ts_ns:(Sim_os.Engine.time_ns t.eng) ~track ~phase ?args name
+
+let observe t name v =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.observe s name v
+
 let cpu_ns t pid =
   let st = Sim_os.Engine.proc_stats t.eng pid in
   st.Sim_os.Engine.user_ns +. st.Sim_os.Engine.sys_ns
@@ -102,6 +113,12 @@ let migrate_oldest_to_big t =
       e.core <- big;
       Sim_os.Engine.set_core t.eng e.pid ~core:big;
       t.stats.Stats.migrations <- t.stats.Stats.migrations + 1;
+      emit_ev t ~track:(Obs.Trace.Proc e.pid) ~phase:Obs.Trace.Instant
+        ~args:[ ("from", Obs.Trace.Int freed); ("to", Obs.Trace.Int big) ]
+        "migrate";
+      (match t.cfg.Config.obs with
+      | None -> ()
+      | Some s -> Obs.Sink.incr s "sched.migrations");
       Some freed)
 
 let rec try_dispatch t =
@@ -127,6 +144,7 @@ let rec try_dispatch t =
 
 let enqueue t pid =
   t.queued <- t.queued @ [ pid ];
+  observe t "sched.queue_depth" (float_of_int (List.length t.queued));
   try_dispatch t
 
 let finished t pid =
@@ -160,6 +178,13 @@ let running_count t = List.length t.running
 
 let pacer_tick t =
   List.iter (fun e -> account t e) t.running;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Counter
+    ~args:
+      [
+        ("queued", Obs.Trace.Int (List.length t.queued));
+        ("running", Obs.Trace.Int (List.length t.running));
+      ]
+    "backlog";
   if t.cfg.Config.dvfs_pacing then begin
     let level = Sim_os.Engine.dvfs_level t.eng ~cluster:1 in
     let top =

@@ -50,6 +50,10 @@ let create () =
 let record_detection t ~segment outcome =
   t.detections <- (segment, outcome) :: t.detections
 
+(* The only place the newest-first storage order is reversed; every
+   oldest-first consumer (Runtime.report) must go through this. *)
+let detections_oldest_first t = List.rev t.detections
+
 let big_core_work_fraction t =
   let total = t.checker_big_ns +. t.checker_little_ns in
   if total <= 0.0 then 0.0 else t.checker_big_ns /. total

@@ -34,6 +34,12 @@ type t = {
 val create : unit -> t
 
 val record_detection : t -> segment:int -> Detection.outcome -> unit
+(** Prepends: the [detections] field stays newest first. *)
+
+val detections_oldest_first : t -> (int * Detection.outcome) list
+(** The [detections] field in chronological order — the single place the
+    newest-first storage order is reversed. [Runtime.report.detections]
+    (documented oldest-first) is built with this. *)
 
 val big_core_work_fraction : t -> float
 (** Fraction of checker CPU time spent on big cores (the §5.2.1 "41.7%

@@ -88,7 +88,7 @@ let run ~platform ~scale ~quick =
   let totals = { detected = 0; exception_ = 0; timeout = 0; benign = 0 } in
   List.iter
     (fun bench ->
-      Printf.eprintf "  [fig10] %s...\n%!" bench.Workloads.Spec.name;
+      Obs.Log.progress "  [fig10] %s..." bench.Workloads.Spec.name;
       let t = campaign ~platform ~scale ~rng bench in
       totals.detected <- totals.detected + t.detected;
       totals.exception_ <- totals.exception_ + t.exception_;

@@ -39,7 +39,7 @@ let run ~platform ~scale =
           | Some b -> b
           | None -> invalid_arg ("unknown benchmark " ^ name)
         in
-        Printf.eprintf "  [fig9] %s...\n%!" name;
+        Obs.Log.progress "  [fig9] %s..." name;
         ( name,
           List.map
             (fun (label, period) -> (label, measure_point ~platform ~scale bench period))

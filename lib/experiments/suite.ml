@@ -19,7 +19,7 @@ let sweep ~platform ~scale ~quick =
   let benches = benchmarks ~quick in
   List.map
     (fun bench ->
-      Printf.eprintf "  [sweep %s] %s...\n%!" platform.Platform.name
+      Obs.Log.progress "  [sweep %s] %s..." platform.Platform.name
         bench.Workloads.Spec.name;
       let baseline =
         Measure.run_benchmark ~platform ~mode:Measure.Baseline ~scale bench

@@ -1,0 +1,211 @@
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Chrome groups rows as process/thread; we map track kinds to fixed
+   process ids so cores, checker pids and run-global events each get
+   their own group. *)
+let pid_tid (track : Trace.track) =
+  match track with
+  | Trace.Core c -> (0, c)
+  | Trace.Proc p -> (1, p)
+  | Trace.Run -> (2, 0)
+
+let process_names = [ (0, "cores"); (1, "checkers"); (2, "runtime") ]
+
+let track_label (track : Trace.track) =
+  match track with
+  | Trace.Core c -> Printf.sprintf "core %d" c
+  | Trace.Proc p -> Printf.sprintf "pid %d" p
+  | Trace.Run -> "run"
+
+(* Timestamps are microseconds in the trace_event format; print the
+   simulated nanoseconds as a fixed-point "us.nnn" so the exporter is
+   exact and byte-deterministic. *)
+let buf_add_ts b ts_ns = Buffer.add_string b (Printf.sprintf "%d.%03d" (ts_ns / 1000) (ts_ns mod 1000))
+
+let buf_add_args b (args : (string * Trace.arg) list) =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      match (v : Trace.arg) with
+      | Trace.Int n -> Buffer.add_string b (string_of_int n)
+      | Trace.Str s -> buf_add_json_string b s)
+    args;
+  Buffer.add_char b '}'
+
+let chrome_json trace =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n"
+  in
+  (* Metadata: stable names for every process group and every track that
+     appears in the trace, in deterministic (sorted) order. *)
+  let tracks = Hashtbl.create 16 in
+  Trace.iter (fun ev -> Hashtbl.replace tracks (pid_tid ev.Trace.track) ev.Trace.track) trace;
+  let track_list =
+    Hashtbl.fold (fun key track acc -> (key, track) :: acc) tracks []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (pid, name) ->
+      if List.exists (fun ((p, _), _) -> p = pid) track_list then begin
+        sep ();
+        Buffer.add_string b
+          (Printf.sprintf
+             "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+             pid name)
+      end)
+    process_names;
+  List.iter
+    (fun ((pid, tid), track) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           pid tid (track_label track)))
+    track_list;
+  Trace.iter
+    (fun ev ->
+      sep ();
+      let pid, tid = pid_tid ev.Trace.track in
+      let ph =
+        match ev.Trace.phase with
+        | Trace.Begin -> "B"
+        | Trace.End -> "E"
+        | Trace.Instant -> "i"
+        | Trace.Counter -> "C"
+      in
+      Buffer.add_string b "{\"name\":";
+      buf_add_json_string b ev.Trace.name;
+      Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":" ph);
+      buf_add_ts b ev.Trace.ts_ns;
+      Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+      (match ev.Trace.phase with
+      | Trace.Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | Trace.Begin | Trace.End | Trace.Counter -> ());
+      (match ev.Trace.args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string b ",\"args\":";
+        buf_add_args b args);
+      Buffer.add_char b '}')
+    trace;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+type span_tally = {
+  mutable n : int;
+  mutable total_ns : int;
+}
+
+let summary trace =
+  let spans : (string, span_tally) Hashtbl.t = Hashtbl.create 16 in
+  let instants : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  (* Per-track stacks of open Begin events; End closes the innermost
+     span with the same name (emit sites nest properly). *)
+  let stacks : (int * int, (string * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  let t_min = ref max_int and t_max = ref 0 in
+  Trace.iter
+    (fun ev ->
+      if ev.Trace.ts_ns < !t_min then t_min := ev.Trace.ts_ns;
+      if ev.Trace.ts_ns > !t_max then t_max := ev.Trace.ts_ns;
+      let key = pid_tid ev.Trace.track in
+      match ev.Trace.phase with
+      | Trace.Begin ->
+        let stack =
+          match Hashtbl.find_opt stacks key with
+          | Some s -> s
+          | None ->
+            let s = ref [] in
+            Hashtbl.replace stacks key s;
+            s
+        in
+        stack := (ev.Trace.name, ev.Trace.ts_ns) :: !stack
+      | Trace.End -> (
+        match Hashtbl.find_opt stacks key with
+        | None -> ()
+        | Some stack -> (
+          let rec pop acc = function
+            | [] -> None
+            | (name, ts) :: rest when name = ev.Trace.name ->
+              Some ((name, ts), List.rev_append acc rest)
+            | frame :: rest -> pop (frame :: acc) rest
+          in
+          match pop [] !stack with
+          | None -> ()
+          | Some ((name, ts), rest) ->
+            stack := rest;
+            let tally =
+              match Hashtbl.find_opt spans name with
+              | Some t -> t
+              | None ->
+                let t = { n = 0; total_ns = 0 } in
+                Hashtbl.replace spans name t;
+                t
+            in
+            tally.n <- tally.n + 1;
+            tally.total_ns <- tally.total_ns + (ev.Trace.ts_ns - ts)))
+      | Trace.Instant | Trace.Counter -> (
+        match Hashtbl.find_opt instants ev.Trace.name with
+        | Some r -> incr r
+        | None -> Hashtbl.replace instants ev.Trace.name (ref 1)))
+    trace;
+  let b = Buffer.create 1024 in
+  let run_ns = if !t_max > !t_min then !t_max - !t_min else 0 in
+  Buffer.add_string b
+    (Printf.sprintf "trace: %d events (%d dropped), %d ns spanned\n"
+       (Trace.length trace) (Trace.dropped trace) run_ns);
+  let span_rows =
+    Hashtbl.fold (fun name t acc -> (name, t) :: acc) spans []
+    |> List.sort (fun (na, a) (nb, bt) ->
+           match compare bt.total_ns a.total_ns with
+           | 0 -> String.compare na nb
+           | c -> c)
+  in
+  if span_rows <> [] then begin
+    Buffer.add_string b "spans (total time, aggregated by name):\n";
+    List.iter
+      (fun (name, t) ->
+        let pct =
+          if run_ns = 0 then 0.0
+          else 100.0 *. float_of_int t.total_ns /. float_of_int run_ns
+        in
+        Buffer.add_string b
+          (Printf.sprintf "  %-24s %8d ns  x%-6d %5.1f%%\n" name t.total_ns t.n pct))
+      span_rows
+  end;
+  let instant_rows =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) instants []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if instant_rows <> [] then begin
+    Buffer.add_string b "events:\n";
+    List.iter
+      (fun (name, n) -> Buffer.add_string b (Printf.sprintf "  %-24s x%d\n" name n))
+      instant_rows
+  end;
+  Buffer.contents b
+
+let write_file ~path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc

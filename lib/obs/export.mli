@@ -1,0 +1,21 @@
+(** Trace exporters.
+
+    {!chrome_json} renders a trace as Chrome [trace_event] JSON (the
+    "JSON Array Format" inside an object wrapper), loadable in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) or [chrome://tracing].
+    Tracks map to rows: every {!Trace.Core} track renders under process
+    "cores" (one thread per core), every {!Trace.Proc} track under
+    process "checkers" (one thread per pid), and {!Trace.Run} under
+    process "runtime". Output is a pure function of the trace contents:
+    equal traces give byte-identical JSON.
+
+    {!summary} is a flamegraph-style plain-text digest: span totals
+    aggregated by event name (sorted by total time), instant/counter
+    event counts, and the drop counter. *)
+
+val chrome_json : Trace.t -> string
+
+val summary : Trace.t -> string
+
+val write_file : path:string -> string -> unit
+(** Write [contents] to [path] (truncating). *)

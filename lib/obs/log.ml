@@ -1,0 +1,16 @@
+let quiet_flag =
+  ref
+    (match Sys.getenv_opt "PARALLAFT_QUIET" with
+    | Some "" | Some "0" | None -> false
+    | Some _ -> true)
+
+let quiet () = !quiet_flag
+let set_quiet q = quiet_flag := q
+
+let progress fmt =
+  if !quiet_flag then Printf.ifprintf stderr fmt
+  else Printf.kfprintf
+         (fun oc ->
+           output_char oc '\n';
+           flush oc)
+         stderr fmt

@@ -1,0 +1,14 @@
+(** Progress logging for long-running harness code (experiment sweeps,
+    fault-injection campaigns). A single global quiet flag replaces the
+    ad-hoc [Printf.eprintf] scattered through the experiment suite, so
+    test runs stay clean.
+
+    Quiet defaults to the [PARALLAFT_QUIET] environment variable (set
+    and non-["0"] means quiet); {!set_quiet} overrides it. *)
+
+val quiet : unit -> bool
+val set_quiet : bool -> unit
+
+val progress : ('a, out_channel, unit) format -> 'a
+(** Like [Printf.eprintf] with an implicit trailing newline and flush;
+    swallowed entirely when quiet. *)

@@ -1,0 +1,70 @@
+(** Per-run metric aggregation: named histograms and counters.
+
+    Histograms retain every observation (growable, amortised O(1) add)
+    and summarise on demand with exact percentiles — run lengths here
+    are bounded by the simulation, so exactness is affordable and keeps
+    summaries deterministic. Counters are plain named integers.
+
+    All exports order series by name, so output is reproducible
+    regardless of observation order. *)
+
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val min : t -> float
+  (** 0. when empty (as are [max], [mean] and [percentile]). *)
+
+  val max : t -> float
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100]: linear interpolation between
+      closest ranks — the index [p/100 * (n-1)] of the sorted data,
+      interpolating between neighbours. [percentile h 50.] of
+      [1..100] is [50.5]. *)
+end
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t
+
+val create : unit -> t
+
+val set_enabled : t -> bool -> unit
+(** Disabled metrics record nothing. *)
+
+val enabled : t -> bool
+
+val observe : t -> string -> float -> unit
+(** Add one observation to the named histogram (created on first use). *)
+
+val add : t -> string -> int -> unit
+(** Bump the named counter by [n] (created on first use). *)
+
+val incr : t -> string -> unit
+
+val hist : t -> string -> Hist.t option
+val counter : t -> string -> int
+
+val histograms : t -> (string * summary) list
+(** Sorted by name. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val to_text : t -> string
+(** Plain-text dump: one [counter NAME VALUE] line per counter, one
+    [hist NAME count/min/mean/p50/p90/p99/max/sum] line per histogram. *)

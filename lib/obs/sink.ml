@@ -1,0 +1,20 @@
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+let create ?trace_capacity () =
+  { trace = Trace.create ?capacity:trace_capacity (); metrics = Metrics.create () }
+
+let set_enabled t on =
+  Trace.set_enabled t.trace on;
+  Metrics.set_enabled t.metrics on
+
+let enabled t = Trace.enabled t.trace
+
+let emit t ~ts_ns ~track ~phase ?args name =
+  Trace.emit t.trace ~ts_ns ~track ~phase ?args name
+
+let observe t name v = Metrics.observe t.metrics name v
+let add t name n = Metrics.add t.metrics name n
+let incr t name = Metrics.incr t.metrics name

@@ -1,0 +1,30 @@
+(** The observability sink a run writes into: one trace ring plus one
+    metrics registry. A [Config.t] carries an optional sink ([None] by
+    default); every emit site in the runtime is a no-op when the config
+    has no sink, and a load+branch when the sink is disabled — tracing
+    costs nothing unless explicitly requested. *)
+
+type t = {
+  trace : Trace.t;
+  metrics : Metrics.t;
+}
+
+val create : ?trace_capacity:int -> unit -> t
+
+val set_enabled : t -> bool -> unit
+(** Flip both the trace and the metrics registry. *)
+
+val enabled : t -> bool
+
+val emit :
+  t ->
+  ts_ns:int ->
+  track:Trace.track ->
+  phase:Trace.phase ->
+  ?args:(string * Trace.arg) list ->
+  string ->
+  unit
+
+val observe : t -> string -> float -> unit
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit

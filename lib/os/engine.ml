@@ -38,6 +38,7 @@ type t = {
   mutable ticks : tick list;
   mutable live : int;
   mutable event_time : float;
+  mutable obs : Obs.Sink.t option;
 }
 
 and tracer = t -> pid -> event -> unit
@@ -137,12 +138,31 @@ let create ?(quantum_ns = 20_000) ~platform ~seed () =
     ticks = [];
     live = 0;
     event_time = 0.0;
+    obs = None;
   }
 
 let platform t = t.plat
 let fs t = t.filesystem
 let now_ns t = t.now
 let frame_allocator t = t.alloc
+
+(* Fine-grained simulated time: within a quantum [event_time] tracks the
+   moment of the event being dispatched, while [now] only advances per
+   quantum. Observability timestamps use this so traces resolve events
+   inside a quantum. *)
+let time_ns t = int_of_float (Float.max t.event_time (float_of_int t.now))
+
+let set_obs t sink = t.obs <- Some sink
+
+let obs_emit t ~track ~phase ?args name =
+  match t.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.emit s ~ts_ns:(time_ns t) ~track ~phase ?args name
+
+let obs_observe t name v =
+  match t.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.observe s name v
 
 let n_cores t = Array.length t.cores
 let cluster_of_core t core = t.cores.(core).cluster_idx
@@ -158,6 +178,10 @@ let set_dvfs_level t ~cluster ~level =
   let cl = t.clusters.(cluster) in
   if level < 0 || level >= Array.length cl.desc.Platform.freq_levels_mhz then
     invalid_arg "Engine.set_dvfs_level: level out of range";
+  if cl.level <> level then
+    obs_emit t ~track:Obs.Trace.Run ~phase:Obs.Trace.Counter
+      ~args:[ ("level", Obs.Trace.Int level) ]
+      (Printf.sprintf "dvfs.cluster%d" cluster);
   cl.level <- level
 
 let dvfs_level t ~cluster = t.clusters.(cluster).level
@@ -194,6 +218,9 @@ let mark_exited t p status =
   | Exited _ -> ()
   | Runnable | Stopped ->
     p.state <- Exited status;
+    obs_emit t ~track:(Obs.Trace.Proc p.pid) ~phase:Obs.Trace.Instant
+      ~args:[ ("status", Obs.Trace.Int status) ]
+      "exit";
     p.ended_ns <- int_of_float (Float.max t.event_time (float_of_int t.now));
     Mem.Page_table.free_all (Mem.Address_space.page_table (Machine.Cpu.aspace p.cpu));
     remove_from_core t p;
@@ -354,6 +381,17 @@ let fork_process t parent_pid =
     t.plat.Platform.fork_base_cycles
     + (mapped * t.plat.Platform.fork_per_page_cycles)
   in
+  let cost_ns = cycles_to_ns t t.cores.(parent.core) cycles in
+  obs_emit t ~track:(Obs.Trace.Proc parent_pid) ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("child", Obs.Trace.Int pid);
+        ("pages", Obs.Trace.Int mapped);
+        ("cost_ns", Obs.Trace.Int (int_of_float cost_ns));
+      ]
+    "fork";
+  obs_observe t "fork.cost_ns" cost_ns;
+  obs_observe t "fork.pages" (float_of_int mapped);
   charge_sys_cycles t parent_pid cycles;
   pid
 

@@ -47,6 +47,20 @@ val create : ?quantum_ns:int -> platform:Platform.t -> seed:int64 -> unit -> t
 val platform : t -> Platform.t
 val fs : t -> File.fs
 val now_ns : t -> int
+
+val time_ns : t -> int
+(** Fine-grained simulated time: the timestamp of the event currently
+    being dispatched (within the running quantum), falling back to
+    {!now_ns} between quanta. Observability emit sites use this so that
+    traces resolve ordering inside a quantum. Purely simulated — never
+    wall clock — so it is reproducible from the seed. *)
+
+val set_obs : t -> Obs.Sink.t -> unit
+(** Attach an observability sink: the engine then emits [fork] and
+    [exit] instants (per-process tracks), [dvfs.cluster*] counter events
+    on level changes, and [fork.cost_ns]/[fork.pages] metrics. Without a
+    sink every emit site is a no-op. *)
+
 val frame_allocator : t -> Mem.Frame.allocator
 
 (** {2 Topology and DVFS} *)

@@ -1,0 +1,365 @@
+(* Tests for the observability library: ring-buffer semantics, histogram
+   percentile math, zero-cost-when-disabled, byte-determinism of the
+   Chrome trace export across equal-seed runs, presence of the key event
+   kinds (segment/fork/check/compare/detection), JSON well-formedness of
+   the exporter output, and the detection-report ordering contract. *)
+
+let platform = Platform.testing
+
+let busy_program ?(outer = 12) () =
+  Workloads.Codegen.generate ~name:"busy" ~seed:11L
+    ~page_size:platform.Platform.page_size
+    {
+      Workloads.Codegen.pattern =
+        Workloads.Codegen.Chase { pages = 12; hot_pages = 4; cold_every = 2 };
+      alu_per_mem = 3;
+      store_every = 2;
+      outer_iters = outer;
+      inner_iters = 40;
+      io_every = 3;
+      gettime_every = 5;
+      rdtsc_every = 0;
+      mmap_churn = false;
+    }
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let run_with_sink ?fault_plan ?(seed = 42L) () =
+  let sink = Obs.Sink.create () in
+  let config =
+    {
+      (Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()) with
+      Parallaft.Config.obs = Some sink;
+      fault_plan;
+    }
+  in
+  let program = busy_program () in
+  let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
+  (r, sink)
+
+(* {2 Trace ring buffer} *)
+
+let test_ring_overwrites_oldest () =
+  let t = Obs.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Obs.Trace.emit t ~ts_ns:(i * 10) ~track:Obs.Trace.Run
+      ~phase:Obs.Trace.Instant
+      (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "length capped" 4 (Obs.Trace.length t);
+  Alcotest.(check int) "two dropped" 2 (Obs.Trace.dropped t);
+  let names = List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events t) in
+  Alcotest.(check (list string)) "oldest first, oldest two gone"
+    [ "e3"; "e4"; "e5"; "e6" ] names
+
+let test_disabled_trace_records_nothing () =
+  let t = Obs.Trace.create ~capacity:8 () in
+  Obs.Trace.set_enabled t false;
+  Obs.Trace.emit t ~ts_ns:1 ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "x";
+  Alcotest.(check int) "no events" 0 (Obs.Trace.length t);
+  Obs.Trace.set_enabled t true;
+  Obs.Trace.emit t ~ts_ns:2 ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "y";
+  Alcotest.(check int) "re-enabled records" 1 (Obs.Trace.length t)
+
+(* {2 Histogram percentiles} *)
+
+let test_hist_percentiles () =
+  let h = Obs.Metrics.Hist.create () in
+  for i = 1 to 100 do
+    Obs.Metrics.Hist.add h (float_of_int i)
+  done;
+  let check name expected got =
+    Alcotest.(check (float 1e-9)) name expected got
+  in
+  check "p50 interpolates" 50.5 (Obs.Metrics.Hist.percentile h 50.);
+  check "p90 interpolates" 90.1 (Obs.Metrics.Hist.percentile h 90.);
+  check "p99 interpolates" 99.01 (Obs.Metrics.Hist.percentile h 99.);
+  check "p0 is min" 1. (Obs.Metrics.Hist.percentile h 0.);
+  check "p100 is max" 100. (Obs.Metrics.Hist.percentile h 100.);
+  check "mean" 50.5 (Obs.Metrics.Hist.mean h);
+  check "min" 1. (Obs.Metrics.Hist.min h);
+  check "max" 100. (Obs.Metrics.Hist.max h);
+  Alcotest.(check int) "count" 100 (Obs.Metrics.Hist.count h)
+
+let test_hist_edge_cases () =
+  let empty = Obs.Metrics.Hist.create () in
+  Alcotest.(check (float 0.)) "empty percentile" 0.
+    (Obs.Metrics.Hist.percentile empty 50.);
+  let one = Obs.Metrics.Hist.create () in
+  Obs.Metrics.Hist.add one 7.;
+  Alcotest.(check (float 0.)) "singleton p50" 7.
+    (Obs.Metrics.Hist.percentile one 50.);
+  Alcotest.(check (float 0.)) "singleton p99" 7.
+    (Obs.Metrics.Hist.percentile one 99.)
+
+(* {2 Disabled sink through a full run} *)
+
+let test_disabled_sink_records_nothing () =
+  let sink = Obs.Sink.create () in
+  Obs.Sink.set_enabled sink false;
+  let config =
+    {
+      (Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()) with
+      Parallaft.Config.obs = Some sink;
+    }
+  in
+  let program = busy_program () in
+  let _r = Parallaft.Runtime.run_protected ~platform ~config ~program () in
+  Alcotest.(check int) "no trace events" 0
+    (Obs.Trace.length sink.Obs.Sink.trace);
+  Alcotest.(check int) "no histograms" 0
+    (List.length (Obs.Metrics.histograms sink.Obs.Sink.metrics));
+  Alcotest.(check int) "no counters" 0
+    (List.length (Obs.Metrics.counters sink.Obs.Sink.metrics))
+
+(* {2 Determinism and content} *)
+
+let test_trace_deterministic () =
+  let _, s1 = run_with_sink ~seed:7L () in
+  let _, s2 = run_with_sink ~seed:7L () in
+  let j1 = Obs.Export.chrome_json s1.Obs.Sink.trace in
+  let j2 = Obs.Export.chrome_json s2.Obs.Sink.trace in
+  Alcotest.(check bool) "trace is non-trivial"
+    true
+    (Obs.Trace.length s1.Obs.Sink.trace > 10);
+  Alcotest.(check string) "equal seeds give byte-identical JSON" j1 j2;
+  let t1 = Obs.Export.summary s1.Obs.Sink.trace in
+  let t2 = Obs.Export.summary s2.Obs.Sink.trace in
+  Alcotest.(check string) "summaries identical too" t1 t2
+
+let event_names sink =
+  List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events sink.Obs.Sink.trace)
+
+let test_trace_contains_lifecycle_events () =
+  let r, sink = run_with_sink () in
+  Alcotest.(check int) "clean run" 0
+    (List.length r.Parallaft.Runtime.detections);
+  let names = event_names sink in
+  let has n = List.mem n names in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " event present") true (has n))
+    [ "segment"; "fork"; "check"; "replay.start"; "compare"; "slice";
+      "sys.record"; "sys.replay"; "exit" ];
+  (* the same names must survive export *)
+  let json = Obs.Export.chrome_json sink.Obs.Sink.trace in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in JSON") true
+        (contains ~needle:("\"name\":\"" ^ n ^ "\"") json))
+    [ "segment"; "fork"; "compare" ];
+  (* per-segment metrics accumulated *)
+  (match Obs.Metrics.hist sink.Obs.Sink.metrics "checker.latency_ns" with
+  | Some h -> Alcotest.(check bool) "latency observed" true
+                (Obs.Metrics.Hist.count h > 0)
+  | None -> Alcotest.fail "checker.latency_ns histogram missing")
+
+let test_trace_contains_detection () =
+  let fault_plan =
+    { Parallaft.Config.segment = 0; delay_instructions = 50; reg = 13; bit = 7 }
+  in
+  let r, sink = run_with_sink ~fault_plan () in
+  ignore r;
+  let names = event_names sink in
+  Alcotest.(check bool) "detection event present" true
+    (List.mem "detection" names);
+  Alcotest.(check bool) "detections counter bumped" true
+    (Obs.Metrics.counter sink.Obs.Sink.metrics "detections" > 0)
+
+(* {2 JSON well-formedness}
+
+   No JSON library in the test environment, so validate the exporter's
+   output with a minimal recursive-descent parser: good enough to catch
+   unbalanced brackets, bad escapes, trailing commas and garbage. *)
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = failwith (Printf.sprintf "%s at byte %d" msg !pos) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let parse_string () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); fin := true
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+        | Some 'u' ->
+          advance ();
+          for _ = 1 to 4 do
+            (match peek () with
+            | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
+            | _ -> fail "bad \\u escape");
+            advance ()
+          done
+        | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let parse_number () =
+    let digits () =
+      let saw = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        saw := true;
+        advance ()
+      done;
+      if not !saw then fail "expected digit"
+    in
+    if peek () = Some '-' then advance ();
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ())
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> parse_string ()
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then advance ()
+      else begin
+        let fin = ref false in
+        while not !fin do
+          skip_ws ();
+          parse_string ();
+          skip_ws ();
+          expect ':';
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some '}' -> advance (); fin := true
+          | _ -> fail "expected , or }"
+        done
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then advance ()
+      else begin
+        let fin = ref false in
+        while not !fin do
+          parse_value ();
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance ()
+          | Some ']' -> advance (); fin := true
+          | _ -> fail "expected , or ]"
+        done
+      end
+    | Some 't' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "true" then pos := !pos + 4
+      else fail "bad literal"
+    | Some 'f' ->
+      if !pos + 5 <= n && String.sub s !pos 5 = "false" then pos := !pos + 5
+      else fail "bad literal"
+    | Some 'n' ->
+      if !pos + 4 <= n && String.sub s !pos 4 = "null" then pos := !pos + 4
+      else fail "bad literal"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected value"
+  in
+  parse_value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let test_chrome_json_is_valid_json () =
+  let _, sink = run_with_sink () in
+  let json = Obs.Export.chrome_json sink.Obs.Sink.trace in
+  (match validate_json json with
+  | () -> ()
+  | exception Failure msg -> Alcotest.fail ("invalid JSON: " ^ msg));
+  Alcotest.(check bool) "has traceEvents key" true
+    (contains ~needle:"\"traceEvents\"" json)
+
+(* {2 Detection ordering contract} *)
+
+let test_detections_oldest_first () =
+  let st = Parallaft.Stats.create () in
+  let o1 = Parallaft.Detection.Timeout_detected in
+  let o2 = Parallaft.Detection.Exception_detected "boom" in
+  Parallaft.Stats.record_detection st ~segment:1 o1;
+  Parallaft.Stats.record_detection st ~segment:2 o2;
+  (* storage is newest first... *)
+  (match st.Parallaft.Stats.detections with
+  | [ (2, _); (1, _) ] -> ()
+  | _ -> Alcotest.fail "storage should be newest first");
+  (* ...and the report accessor flips it exactly once *)
+  match Parallaft.Stats.detections_oldest_first st with
+  | [ (1, _); (2, _) ] -> ()
+  | _ -> Alcotest.fail "detections_oldest_first should be chronological"
+
+(* {2 Log quiet flag} *)
+
+let test_log_quiet_flag () =
+  let saved = Obs.Log.quiet () in
+  Obs.Log.set_quiet true;
+  Alcotest.(check bool) "quiet set" true (Obs.Log.quiet ());
+  (* must not raise (and must not print, but that we can't observe here) *)
+  Obs.Log.progress "suppressed %d" 42;
+  Obs.Log.set_quiet false;
+  Alcotest.(check bool) "quiet cleared" false (Obs.Log.quiet ());
+  Obs.Log.set_quiet saved
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring overwrites oldest" `Quick
+            test_ring_overwrites_oldest;
+          Alcotest.test_case "disabled trace records nothing" `Quick
+            test_disabled_trace_records_nothing;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "percentile math" `Quick test_hist_percentiles;
+          Alcotest.test_case "percentile edge cases" `Quick
+            test_hist_edge_cases;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "disabled sink records nothing" `Quick
+            test_disabled_sink_records_nothing;
+          Alcotest.test_case "equal seeds give identical traces" `Quick
+            test_trace_deterministic;
+          Alcotest.test_case "lifecycle events present" `Quick
+            test_trace_contains_lifecycle_events;
+          Alcotest.test_case "fault injection yields detection event" `Quick
+            test_trace_contains_detection;
+          Alcotest.test_case "chrome export is valid JSON" `Quick
+            test_chrome_json_is_valid_json;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "detections reported oldest first" `Quick
+            test_detections_oldest_first;
+        ] );
+      ( "log",
+        [ Alcotest.test_case "quiet flag" `Quick test_log_quiet_flag ] );
+    ]
