@@ -17,7 +17,7 @@
    and counters). Traces are keyed on simulated time, so equal seeds
    give byte-identical files. [--fault SEG,DELAY,REG,BIT] arms a single
    fault injection (handy for demonstrating detection events in a
-   trace). *)
+   trace); it requires a checker, so it is rejected in baseline mode. *)
 
 open Cmdliner
 
@@ -110,6 +110,11 @@ let run platform_name mode_name period scale workload input asm_file seed
             false
         in
         match mode with
+        | Mode_baseline when fault <> None ->
+          prerr_endline
+            "parallaft: --fault only applies to parallaft/raft modes \
+             (baseline runs no checker to inject into)";
+          1
         | Mode_baseline ->
           let before_run eng _pid =
             match sink with Some s -> Sim_os.Engine.set_obs eng s | None -> ()
@@ -209,7 +214,8 @@ let fault_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SEG,DELAY,REG,BIT"
          ~doc:"Arm one fault injection: flip $(i,BIT) of $(i,REG) in the checker \
-               of segment $(i,SEG) after $(i,DELAY) instructions.")
+               of segment $(i,SEG) after $(i,DELAY) instructions. Only valid \
+               with --mode parallaft or raft.")
 
 let cmd =
   let term =

@@ -128,10 +128,37 @@ let arm_slice t =
       Machine.Cpu.arm_insn_overflow cpu
         ~target:(Machine.Cpu.instructions cpu + t.cfg.Config.slice_period))
 
+(* Segments torn down by rollback/abort never reach finish_checker, so
+   without help their Begin spans would dangle in the trace (Perfetto
+   renders them as running forever) and their checker latency would go
+   unrecorded. Close the checker's "check" span -- and, for the
+   in-flight segment, the main-track "segment" span -- explicitly. *)
+let close_torn_down_check t seg =
+  if seg.launched && seg.state <> Done then begin
+    emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.End
+      ~args:
+        [ ("seg", Obs.Trace.Int seg.id); ("outcome", Obs.Trace.Str "torn-down") ]
+      "check";
+    observe t "checker.latency_ns"
+      (float_of_int (E.time_ns t.eng - seg.launched_at_ns))
+  end
+
+let close_torn_down_cur t =
+  match t.cur with
+  | None -> ()
+  | Some seg ->
+    close_torn_down_check t seg;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
+      ~args:
+        [ ("seg", Obs.Trace.Int seg.id); ("outcome", Obs.Trace.Str "torn-down") ]
+      "segment"
+
 (* Kill every process we own; ends the simulation. *)
 let abort_run t =
   t.aborted <- true;
   emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
+  List.iter (close_torn_down_check t) t.live;
+  close_torn_down_cur t;
   List.iter
     (fun seg ->
       (match E.state t.eng seg.checker with
@@ -247,6 +274,7 @@ let launch_checker t seg =
       ]
     "replay.start";
   if not seg.launched then begin
+    seg.launched <- true;
     seg.launched_at_ns <- E.time_ns t.eng;
     emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Begin
       ~args:[ ("seg", Obs.Trace.Int seg.id) ]
@@ -520,6 +548,8 @@ let recover t =
         ("verified_prefix", Obs.Trace.Int t.verified_prefix);
       ]
     "recovery";
+  List.iter (close_torn_down_check t) t.live;
+  close_torn_down_cur t;
   (* Tear down everything derived from the (possibly corrupt) state. *)
   List.iter
     (fun seg ->

@@ -27,13 +27,14 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
-let run_with_sink ?fault_plan ?(seed = 42L) () =
+let run_with_sink ?fault_plan ?(recovery = false) ?(seed = 42L) () =
   let sink = Obs.Sink.create () in
   let config =
     {
       (Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()) with
       Parallaft.Config.obs = Some sink;
       fault_plan;
+      recovery;
     }
   in
   let program = busy_program () in
@@ -297,6 +298,65 @@ let test_chrome_json_is_valid_json () =
   Alcotest.(check bool) "has traceEvents key" true
     (contains ~needle:"\"traceEvents\"" json)
 
+(* {2 Span balance under abort and rollback}
+
+   Checkers torn down by recover/abort_run never reach finish_checker;
+   the coordinator must still close their "check" (and the in-flight
+   "segment") Begin spans, or Perfetto renders dangling spans. Walk the
+   event stream per track and require strict Begin/End stack discipline
+   with nothing left open at the end. *)
+
+let assert_spans_balanced sink =
+  let stacks : (Obs.Trace.track, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let stack =
+        Option.value (Hashtbl.find_opt stacks e.Obs.Trace.track) ~default:[]
+      in
+      match e.Obs.Trace.phase with
+      | Obs.Trace.Begin ->
+        Hashtbl.replace stacks e.Obs.Trace.track (e.Obs.Trace.name :: stack)
+      | Obs.Trace.End -> (
+        match stack with
+        | top :: rest when top = e.Obs.Trace.name ->
+          Hashtbl.replace stacks e.Obs.Trace.track rest
+        | _ -> Alcotest.fail ("unmatched End event: " ^ e.Obs.Trace.name))
+      | Obs.Trace.Instant | Obs.Trace.Counter -> ())
+    (Obs.Trace.events sink.Obs.Sink.trace);
+  Hashtbl.iter
+    (fun _ stack ->
+      match stack with
+      | [] -> ()
+      | name :: _ -> Alcotest.fail ("dangling Begin span: " ^ name))
+    stacks
+
+let has_torn_down sink =
+  List.exists
+    (fun e ->
+      List.exists
+        (fun (k, v) -> k = "outcome" && v = Obs.Trace.Str "torn-down")
+        e.Obs.Trace.args)
+    (Obs.Trace.events sink.Obs.Sink.trace)
+
+let teardown_fault_plan =
+  { Parallaft.Config.segment = 1; delay_instructions = 60; reg = 13; bit = 6 }
+
+let test_abort_closes_spans () =
+  let r, sink = run_with_sink ~fault_plan:teardown_fault_plan () in
+  Alcotest.(check bool) "run aborted" true r.Parallaft.Runtime.aborted;
+  assert_spans_balanced sink;
+  Alcotest.(check bool) "torn-down close emitted" true (has_torn_down sink)
+
+let test_recovery_closes_spans () =
+  let r, sink =
+    run_with_sink ~fault_plan:teardown_fault_plan ~recovery:true ()
+  in
+  Alcotest.(check bool) "rolled back" true
+    (r.Parallaft.Runtime.stats.Parallaft.Stats.recoveries >= 1);
+  Alcotest.(check bool) "run not aborted" false r.Parallaft.Runtime.aborted;
+  assert_spans_balanced sink;
+  Alcotest.(check bool) "torn-down close emitted" true (has_torn_down sink)
+
 (* {2 Detection ordering contract} *)
 
 let test_detections_oldest_first () =
@@ -354,6 +414,13 @@ let () =
             test_trace_contains_detection;
           Alcotest.test_case "chrome export is valid JSON" `Quick
             test_chrome_json_is_valid_json;
+        ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "abort closes open spans" `Quick
+            test_abort_closes_spans;
+          Alcotest.test_case "recovery closes open spans" `Quick
+            test_recovery_closes_spans;
         ] );
       ( "stats",
         [
