@@ -1,6 +1,6 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
-.PHONY: all build test fmt-check smoke ci clean
+.PHONY: all build test fmt-check smoke parallel-smoke ci clean
 
 all: build
 
@@ -28,7 +28,13 @@ smoke: build
 	  --metrics /tmp/parallaft_metrics.txt
 	@echo "trace: /tmp/parallaft_trace.json (open in ui.perfetto.dev)"
 
-ci: build test fmt-check smoke
+# The quick experiment suite on a 4-domain pool: exercises the parallel
+# runner end to end (the determinism itself is pinned by test_parallel).
+parallel-smoke: build
+	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 PARALLAFT_SCALE=0.1 \
+	  dune exec bin/experiments_main.exe -- -j 4 fig5
+
+ci: build test fmt-check smoke parallel-smoke
 
 clean:
 	dune clean

@@ -194,11 +194,28 @@ let run_microbenches () =
         results)
     tests
 
+(* The reproduction part honours the experiment runner's jobs knob:
+   [-j N] on the command line, else PARALLAFT_JOBS, else cores - 1.
+   The bechamel part stays single-domain — interleaved timing runs
+   would perturb each other's measurements. *)
+let parse_jobs () =
+  let rec go = function
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Util.Pool.set_jobs n
+      | Some _ | None -> go rest)
+    | _ :: rest -> go rest
+    | [] -> ()
+  in
+  go (Array.to_list Sys.argv)
+
 let () =
+  parse_jobs ();
   run_microbenches ();
   print_newline ();
   print_endline "================================================================";
   print_endline "Part 2: full reproduction of every table and figure";
+  Printf.printf "(parallel experiment jobs: %d)\n" (Util.Pool.jobs ());
   print_endline "================================================================";
   print_newline ();
   match Experiments.Registry.find "all" with

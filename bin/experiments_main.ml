@@ -1,13 +1,50 @@
 (* Regenerate the paper's tables and figures. Usage:
-     experiments_main [all | table1 | table2 | fig5 | fig6 | fig7 | fig8 |
-                       fig9 | fig10 | stress | intel | calibrate]
+     experiments_main [-j N] [all | table1 | table2 | fig5 | fig6 | fig7 |
+                       fig8 | fig9 | fig10 | stress | intel | calibrate]
    Environment: PARALLAFT_SCALE (workload scale, default 1.0),
-   PARALLAFT_QUICK=1 (reduced benchmark sets). *)
+   PARALLAFT_QUICK=1 (reduced benchmark sets), PARALLAFT_JOBS (parallel
+   experiment tasks; -j overrides; default: cores - 1). *)
+
+let usage () =
+  prerr_endline "usage: experiments_main [-j N] [EXPERIMENT]";
+  prerr_endline ("known: all " ^ String.concat " " (Experiments.Registry.names ()));
+  exit 2
 
 let () =
-  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let which = ref None in
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        Util.Pool.set_jobs n;
+        parse rest
+      | Some _ | None ->
+        prerr_endline "experiments_main: -j wants a positive integer";
+        usage ())
+    | [ "-j" ] | [ "--jobs" ] ->
+      prerr_endline "experiments_main: -j wants a positive integer";
+      usage ()
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+      match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+      | Some n when n >= 1 ->
+        Util.Pool.set_jobs n;
+        parse rest
+      | Some _ | None ->
+        prerr_endline "experiments_main: -j wants a positive integer";
+        usage ())
+    | arg :: rest ->
+      (match !which with
+      | None -> which := Some arg
+      | Some _ -> usage ());
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let which = Option.value !which ~default:"all" in
   match Experiments.Registry.find which with
-  | Some exps -> List.iter (fun e -> Experiments.Registry.run e) exps
+  | Some exps ->
+    Obs.Log.progress "experiments: %s (%d parallel jobs)" which (Util.Pool.jobs ());
+    List.iter (fun e -> Experiments.Registry.run e) exps
   | None ->
     prerr_endline ("unknown experiment: " ^ which);
     prerr_endline ("known: " ^ String.concat " " (Experiments.Registry.names ()));

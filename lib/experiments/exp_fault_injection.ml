@@ -4,9 +4,24 @@
    segment, at a uniformly random point within 1.1x the segment's
    length. Failed injections (the checker finished first) are discarded
    and retried, as in the paper. Outcomes: Detected / Exception /
-   Timeout / Benign — and never an undetected corruption. *)
+   Timeout / Benign — and never an undetected corruption.
+
+   Parallelism and determinism: the campaign pre-draws every candidate
+   plan (a fixed number of RNG draws, so the stream position after a
+   campaign does not depend on run outcomes), then evaluates attempts
+   over Util.Pool in chunks, stopping once the evaluated prefix holds
+   enough landed injections. Each attempt is an isolated seeded run, so
+   whether attempt i lands — and its outcome — is a function of its
+   plan alone. The tally is built from the first [trials] landed
+   attempts in draw order; running extra attempts (a wider pool or a
+   bigger chunk) can never change which those are, which is what makes
+   the -j 1 and -j 4 tallies byte-identical (see test_parallel). *)
 
 let trials_per_benchmark ~quick = if quick then 6 else 15
+
+(* As in the paper, not every injection lands; drawing 4x the wanted
+   trials bounds the campaign while leaving retries headroom. *)
+let attempts_factor = 4
 
 (* Injections use a reduced program size so a campaign of hundreds of
    whole-program runs stays tractable; the classification depends only
@@ -38,7 +53,16 @@ let run_one ~platform ~program ~plan =
   let r = Parallaft.Runtime.run_protected ~platform ~config ~program () in
   r.Parallaft.Runtime.stats.Parallaft.Stats.fi_outcome
 
-let campaign ~platform ~scale ~rng bench =
+let draw_plan ~rng ~seg_insns =
+  let n_segments = Array.length seg_insns in
+  let segment = Util.Rng.int rng n_segments in
+  let t = max 1 seg_insns.(segment) in
+  let delay = Util.Rng.int rng (max 1 (int_of_float (1.1 *. float_of_int t))) in
+  let reg = Util.Rng.int rng Isa.Insn.num_regs in
+  let bit = Util.Rng.int rng 63 in
+  { Parallaft.Config.segment; delay_instructions = delay; reg; bit }
+
+let campaign ~platform ~scale ~trials ~rng bench =
   let programs =
     Workloads.Spec.programs bench ~page_size:platform.Platform.page_size ~scale
   in
@@ -53,30 +77,48 @@ let campaign ~platform ~scale ~rng bench =
     List.rev profile.Parallaft.Runtime.stats.Parallaft.Stats.segment_insn_deltas
     |> Array.of_list
   in
-  let n_segments = Array.length seg_insns in
   let tally = { detected = 0; exception_ = 0; timeout = 0; benign = 0 } in
-  if n_segments = 0 then tally
+  if Array.length seg_insns = 0 then tally
   else begin
-    let quick = Measure.quick_from_env () in
-    let wanted = trials_per_benchmark ~quick in
-    let landed = ref 0 in
-    let attempts = ref 0 in
-    while !landed < wanted && !attempts < wanted * 4 do
-      incr attempts;
-      let segment = Util.Rng.int rng n_segments in
-      let t = max 1 seg_insns.(segment) in
-      let delay = Util.Rng.int rng (max 1 (int_of_float (1.1 *. float_of_int t))) in
-      let reg = Util.Rng.int rng Isa.Insn.num_regs in
-      let bit = Util.Rng.int rng 63 in
-      let plan =
-        { Parallaft.Config.segment; delay_instructions = delay; reg; bit }
-      in
-      match run_one ~platform ~program ~plan with
-      | Some outcome ->
-        incr landed;
-        classify tally outcome
-      | None -> () (* the checker finished before the injection: retry *)
+    let max_attempts = trials * attempts_factor in
+    (* Pre-draw all plans sequentially: the RNG consumption is fixed. *)
+    let plans = Array.make max_attempts (draw_plan ~rng ~seg_insns) in
+    for i = 1 to max_attempts - 1 do
+      plans.(i) <- draw_plan ~rng ~seg_insns
     done;
+    let outcomes : Parallaft.Detection.outcome option array =
+      Array.make max_attempts None
+    in
+    let landed = ref 0 in
+    let evaluated = ref 0 in
+    let chunk_size = max (Util.Pool.jobs ()) 2 in
+    while !landed < trials && !evaluated < max_attempts do
+      let lo = !evaluated in
+      let hi = min max_attempts (lo + chunk_size) - 1 in
+      let idxs = List.init (hi - lo + 1) (fun k -> lo + k) in
+      let rs =
+        Util.Pool.map
+          (fun i -> run_one ~platform ~program ~plan:plans.(i))
+          idxs
+      in
+      List.iter2
+        (fun i r ->
+          outcomes.(i) <- r;
+          if r <> None then incr landed)
+        idxs rs;
+      evaluated := hi + 1
+    done;
+    (* First [trials] landed attempts in draw order — a prefix property
+       unaffected by how many extra attempts the chunking evaluated. *)
+    let taken = ref 0 in
+    Array.iter
+      (fun o ->
+        match o with
+        | Some outcome when !taken < trials ->
+          incr taken;
+          classify tally outcome
+        | _ -> ())
+      outcomes;
     tally
   end
 
@@ -84,12 +126,13 @@ let run ~platform ~scale ~quick =
   let benches = Suite.benchmarks ~quick in
   let rng = Util.Rng.create ~seed:0xFA417L in
   let scale = fi_scale scale in
+  let trials = trials_per_benchmark ~quick in
   let rows = ref [] in
   let totals = { detected = 0; exception_ = 0; timeout = 0; benign = 0 } in
   List.iter
     (fun bench ->
       Obs.Log.progress "  [fig10] %s..." bench.Workloads.Spec.name;
-      let t = campaign ~platform ~scale ~rng bench in
+      let t = campaign ~platform ~scale ~trials ~rng bench in
       totals.detected <- totals.detected + t.detected;
       totals.exception_ <- totals.exception_ + t.exception_;
       totals.timeout <- totals.timeout + t.timeout;

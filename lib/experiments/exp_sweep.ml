@@ -30,22 +30,42 @@ let measure_point ~platform ~scale bench period =
     total = pct (p.Measure.wall_ns -. wall0);
   }
 
-let run ~platform ~scale =
-  let table =
-    List.map
+(* The full (benchmark x period) grid, flattened into one task list for
+   Util.Pool: every cell is an isolated pair of seeded runs, so the
+   grid is bit-identical at any pool width (cells never share state,
+   and the table is reassembled in cell order after the join). Exposed
+   with the lists as parameters so the differential determinism test
+   can run a reduced grid. *)
+let grid ?(periods = periods) ?(benchmarks = benchmarks) ~platform ~scale () =
+  let cells =
+    List.concat_map
       (fun name ->
         let bench =
           match Workloads.Spec.find name with
           | Some b -> b
           | None -> invalid_arg ("unknown benchmark " ^ name)
         in
-        Obs.Log.progress "  [fig9] %s..." name;
-        ( name,
-          List.map
-            (fun (label, period) -> (label, measure_point ~platform ~scale bench period))
-            periods ))
+        List.map (fun (label, period) -> (name, bench, label, period)) periods)
       benchmarks
   in
+  let points =
+    Util.Pool.map
+      (fun (name, bench, label, period) ->
+        Obs.Log.progress "  [fig9] %s @ %s..." name label;
+        (label, measure_point ~platform ~scale bench period))
+      cells
+  in
+  (* Cells were generated benchmark-major, one row per benchmark. *)
+  let per_bench = List.length periods in
+  List.mapi (fun i name -> (i, name)) benchmarks
+  |> List.map (fun (i, name) ->
+         ( name,
+           List.filteri
+             (fun j _ -> j >= i * per_bench && j < (i + 1) * per_bench)
+             points ))
+
+let run ~platform ~scale =
+  let table = grid ~platform ~scale () in
   let print_series title proj =
     Printf.printf "%s\n" title;
     Util.Table.print

@@ -32,15 +32,25 @@ val pss_sample_period_ns : int
 
 val run_benchmark :
   ?seed:int64 ->
+  ?obs:Obs.Sink.t ->
   platform:Platform.t ->
   mode:mode ->
   scale:float ->
   Workloads.Spec.t ->
   metrics
-(** Run every input of the benchmark under [mode], summing metrics. *)
+(** Run every input of the benchmark under [mode], summing metrics.
+    [obs] attaches an observability sink to the run (the engine for
+    baseline runs, the runtime config for protected ones). A sink is
+    not domain-safe: parallel callers ([Suite.sweep]) give each task a
+    private sink and merge after the join. *)
 
 val run_program :
-  ?seed:int64 -> platform:Platform.t -> mode:mode -> Isa.Program.t -> metrics
+  ?seed:int64 ->
+  ?obs:Obs.Sink.t ->
+  platform:Platform.t ->
+  mode:mode ->
+  Isa.Program.t ->
+  metrics
 (** Single-program variant (microbenchmarks, sweeps). *)
 
 val overhead_pct : baseline:metrics -> measured:metrics -> float

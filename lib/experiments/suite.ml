@@ -14,37 +14,57 @@ let benchmarks ~quick =
   else Workloads.Spec.all
 
 let cache : (string * float * bool, row list) Hashtbl.t = Hashtbl.create 4
+let cache_mutex = Mutex.create ()
 
-let sweep ~platform ~scale ~quick =
+(* One benchmark = one pool task: three whole seeded runs, no state
+   shared with any other benchmark, so fanning the list out over
+   domains returns bit-identical rows for every pool width (enforced
+   differentially by test_parallel). When the caller passes [obs], each
+   task records into a private sink — sinks are not domain-safe — and
+   the per-task sinks are merged into [obs] in benchmark order after
+   the join, keeping even the trace independent of domain scheduling. *)
+let sweep ?obs ~platform ~scale ~quick () =
   let benches = benchmarks ~quick in
-  List.map
-    (fun bench ->
-      Obs.Log.progress "  [sweep %s] %s..." platform.Platform.name
-        bench.Workloads.Spec.name;
-      let baseline =
-        Measure.run_benchmark ~platform ~mode:Measure.Baseline ~scale bench
-      in
-      let parallaft =
-        Measure.run_benchmark ~platform
-          ~mode:(Measure.Protected (Parallaft.Config.parallaft ~platform ()))
-          ~scale bench
-      in
-      let raft =
-        Measure.run_benchmark ~platform
-          ~mode:(Measure.Protected (Parallaft.Config.raft ~platform ()))
-          ~scale bench
-      in
-      { bench; baseline; parallaft; raft })
-    benches
+  let tasks =
+    Util.Pool.map
+      (fun bench ->
+        Obs.Log.progress "  [sweep %s] %s..." platform.Platform.name
+          bench.Workloads.Spec.name;
+        let task_obs = Option.map (fun _ -> Obs.Sink.create ()) obs in
+        let run mode = Measure.run_benchmark ?obs:task_obs ~platform ~mode ~scale bench in
+        let baseline = run Measure.Baseline in
+        let parallaft =
+          run (Measure.Protected (Parallaft.Config.parallaft ~platform ()))
+        in
+        let raft = run (Measure.Protected (Parallaft.Config.raft ~platform ())) in
+        ({ bench; baseline; parallaft; raft }, task_obs))
+      benches
+  in
+  (match obs with
+  | Some sink ->
+    Obs.Sink.merge_into sink (List.filter_map (fun (_, s) -> s) tasks)
+  | None -> ());
+  List.map fst tasks
 
 let get ~platform ~scale ~quick =
   let key = (platform.Platform.name, scale, quick) in
-  match Hashtbl.find_opt cache key with
+  let cached =
+    Mutex.protect cache_mutex (fun () -> Hashtbl.find_opt cache key)
+  in
+  match cached with
   | Some rows -> rows
   | None ->
-    let rows = sweep ~platform ~scale ~quick in
-    Hashtbl.replace cache key rows;
-    rows
+    (* Computed outside the lock: a sweep can take minutes and may
+       itself fan out over the pool. Harnesses request distinct keys
+       sequentially, so a duplicated sweep (two domains racing on one
+       key) costs only wasted work, never an inconsistent table. *)
+    let rows = sweep ~platform ~scale ~quick () in
+    Mutex.protect cache_mutex (fun () ->
+        match Hashtbl.find_opt cache key with
+        | Some rows -> rows
+        | None ->
+          Hashtbl.replace cache key rows;
+          rows)
 
 let geomean_overhead_pct proj rows =
   (Util.Stats.geomean (List.map proj rows) -. 1.0) *. 100.0

@@ -15,7 +15,20 @@ val benchmarks : quick:bool -> Workloads.Spec.t list
 
 val get : platform:Platform.t -> scale:float -> quick:bool -> row list
 (** Runs (or returns the memoized) sweep. Prints one progress line per
-    benchmark to stderr. *)
+    benchmark to stderr. The memo table is mutex-protected, so [get] is
+    safe to call from parallel tasks. *)
+
+val sweep :
+  ?obs:Obs.Sink.t ->
+  platform:Platform.t ->
+  scale:float ->
+  quick:bool ->
+  unit ->
+  row list
+(** The un-memoized sweep behind {!get}, fanned out over [Util.Pool]
+    (one task per benchmark). Exposed so the differential determinism
+    suite can run it repeatedly at different pool widths; harness code
+    should use {!get}. *)
 
 val geomean_overhead_pct : (row -> float) -> row list -> float
 (** Geometric-mean of per-benchmark normalized values, expressed as a

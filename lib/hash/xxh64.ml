@@ -84,6 +84,7 @@ type state = {
   seed : int64;
   mutable total : int;
   buf : Bytes.t; (* 32-byte stripe buffer *)
+  scratch : Bytes.t; (* 8-byte staging for update_int64 *)
   mutable buf_len : int;
   mutable v1 : int64;
   mutable v2 : int64;
@@ -96,6 +97,7 @@ let init ?(seed = 0L) () =
     seed;
     total = 0;
     buf = Bytes.create 32;
+    scratch = Bytes.create 8;
     buf_len = 0;
     v1 = seed +% p1 +% p2;
     v2 = seed +% p2;
@@ -136,11 +138,12 @@ let update st b ~pos ~len =
     st.buf_len <- !len
   end
 
-let scratch8 = Bytes.create 8
-
+(* The staging buffer lives in the state (not a module global) so
+   concurrent hashers on different domains never share it — parallel
+   experiment runs hash checkpoints simultaneously. *)
 let update_int64 st v =
-  Bytes.set_int64_le scratch8 0 v;
-  update st scratch8 ~pos:0 ~len:8
+  Bytes.set_int64_le st.scratch 0 v;
+  update st st.scratch ~pos:0 ~len:8
 
 let digest st =
   let acc =

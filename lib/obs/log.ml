@@ -1,16 +1,23 @@
+(* The quiet flag is read from every experiment task, and the parallel
+   runner (Util.Pool) mutates/reads it from multiple domains — an
+   Atomic.t makes that race-free. Lines are formatted to a string first
+   and written with a single output_string so concurrent progress lines
+   never interleave mid-line. *)
+
 let quiet_flag =
-  ref
+  Atomic.make
     (match Sys.getenv_opt "PARALLAFT_QUIET" with
     | Some "" | Some "0" | None -> false
     | Some _ -> true)
 
-let quiet () = !quiet_flag
-let set_quiet q = quiet_flag := q
+let quiet () = Atomic.get quiet_flag
+let set_quiet q = Atomic.set quiet_flag q
 
 let progress fmt =
-  if !quiet_flag then Printf.ifprintf stderr fmt
-  else Printf.kfprintf
-         (fun oc ->
-           output_char oc '\n';
-           flush oc)
-         stderr fmt
+  Printf.ksprintf
+    (fun line ->
+      if not (Atomic.get quiet_flag) then begin
+        output_string stderr (line ^ "\n");
+        flush stderr
+      end)
+    fmt

@@ -4,11 +4,14 @@
     test runs stay clean.
 
     Quiet defaults to the [PARALLAFT_QUIET] environment variable (set
-    and non-["0"] means quiet); {!set_quiet} overrides it. *)
+    and non-["0"] means quiet); {!set_quiet} overrides it. The flag is
+    an [Atomic.t] and each line is emitted with one [output_string], so
+    {!progress} is safe to call from parallel experiment tasks
+    ([Util.Pool]) without tearing lines. *)
 
 val quiet : unit -> bool
 val set_quiet : bool -> unit
 
-val progress : ('a, out_channel, unit) format -> 'a
+val progress : ('a, unit, string, unit) format4 -> 'a
 (** Like [Printf.eprintf] with an implicit trailing newline and flush;
     swallowed entirely when quiet. *)

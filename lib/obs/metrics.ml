@@ -133,6 +133,18 @@ let sorted_bindings tbl f =
 let histograms t = sorted_bindings t.hists summarize
 let counters t = sorted_bindings t.cntrs ( ! )
 
+let merge_into dst srcs =
+  List.iter
+    (fun src ->
+      Hashtbl.iter (fun name r -> add dst name !r) src.cntrs;
+      Hashtbl.iter
+        (fun name h ->
+          for i = 0 to h.Hist.len - 1 do
+            observe dst name h.Hist.data.(i)
+          done)
+        src.hists)
+    srcs
+
 let to_text t =
   let b = Buffer.create 1024 in
   List.iter

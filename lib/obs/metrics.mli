@@ -65,6 +65,13 @@ val histograms : t -> (string * summary) list
 val counters : t -> (string * int) list
 (** Sorted by name. *)
 
+val merge_into : t -> t list -> unit
+(** [merge_into dst srcs] adds every counter and every histogram
+    observation of the sources into [dst] (observations kept in each
+    source's insertion order). Since all exports are name-sorted and
+    histogram summaries are order-insensitive, merging per-task metrics
+    in task order yields output independent of domain scheduling. *)
+
 val to_text : t -> string
 (** Plain-text dump: one [counter NAME VALUE] line per counter, one
     [hist NAME count/min/mean/p50/p90/p99/max/sum] line per histogram. *)

@@ -15,6 +15,10 @@ let enabled t = Trace.enabled t.trace
 let emit t ~ts_ns ~track ~phase ?args name =
   Trace.emit t.trace ~ts_ns ~track ~phase ?args name
 
+let merge_into dst srcs =
+  Trace.merge_into dst.trace (List.map (fun s -> s.trace) srcs);
+  Metrics.merge_into dst.metrics (List.map (fun s -> s.metrics) srcs)
+
 let observe t name v = Metrics.observe t.metrics name v
 let add t name n = Metrics.add t.metrics name n
 let incr t name = Metrics.incr t.metrics name

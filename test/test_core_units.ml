@@ -94,6 +94,43 @@ let test_replay_exact_across_seeds () =
       1234 (Machine.Cpu.branches cpu)
   done
 
+let qcheck_replay_lands_exactly =
+  QCheck.Test.make
+    ~name:"replay lands exactly on (pc, branches) under random skid" ~count:60
+    QCheck.(pair (1 -- 4000) (1 -- 10_000))
+    (fun (target, seed) ->
+      let cpu = make_cpu ~seed:(Int64.of_int seed) loop_src in
+      let point = { Parallaft.Exec_point.branches = target; pc = 2 } in
+      let replay = Parallaft.Exec_point.start_replay ~targets:[ point ] ~cpu in
+      let reached = drive cpu replay in
+      List.length reached = 1
+      && Machine.Cpu.branches cpu = target
+      && Machine.Cpu.get_pc cpu = 2)
+
+let test_margin_zero_overruns () =
+  (* DESIGN.md §5 decisions 1-2: the branch counter must be armed a full
+     skid margin early, because the overflow interrupt only ever lands
+     late. Arming at the target itself (margin 0) overruns the execution
+     point whenever the hardware draws nonzero skid — the checker sails
+     past and can never be walked back. *)
+  let target = 1000 in
+  let overruns = ref 0 in
+  for seed = 1 to 12 do
+    let cpu = make_cpu ~seed:(Int64.of_int seed) loop_src in
+    Machine.Cpu.arm_branch_overflow cpu ~target;
+    let res = Machine.Cpu.run cpu ~env:null_env ~max_cycles:10_000_000 in
+    (match res.Machine.Cpu.stop with
+    | Machine.Cpu.Counter_overflow_stop -> ()
+    | _ -> Alcotest.fail "expected counter overflow");
+    let b = Machine.Cpu.branches cpu in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d stops at or after the target" seed)
+      true (b >= target);
+    if b > target then incr overruns
+  done;
+  Alcotest.(check bool) "nonzero skid draws overrun the target" true
+    (!overruns > 0)
+
 let test_replay_rejects_unsorted () =
   let cpu = make_cpu loop_src in
   try
@@ -245,6 +282,8 @@ let () =
           tc "short distance" `Quick test_replay_short_distance_skips_counter;
           tc "exact across skid seeds" `Quick test_replay_exact_across_seeds;
           tc "rejects unsorted" `Quick test_replay_rejects_unsorted;
+          tc "margin 0 overruns" `Quick test_margin_zero_overruns;
+          QCheck_alcotest.to_alcotest qcheck_replay_lands_exactly;
         ] );
       ( "rr_log",
         [

@@ -242,6 +242,94 @@ let qcheck_soft_dirty_covers_writes =
           && List.mem ((a + 7) / 4096) dirty)
         addrs)
 
+(* §4.4 equivalence: between checkpoints, the soft-dirty backend (clear
+   bits at segment start, read at segment end) and the map-count backend
+   (a page mapped exactly once is modified-or-new since the fork) must
+   report the same dirty set. The model below mirrors the runtime: each
+   "checkpoint" forks the main address space (the checkpoint keeps the
+   shared frames alive) and clears the soft-dirty bits; only the newest
+   checkpoint is kept, as map-count equivalence is stated against it. *)
+let qcheck_dirty_backends_agree =
+  QCheck.Test.make ~name:"soft-dirty and map-count backends agree" ~count:150
+    QCheck.(list_of_size Gen.(0 -- 40) (pair bool (int_bound ((8 * 4096) - 9))))
+    (fun ops ->
+      let main = fresh_as () in
+      Mem.Address_space.map_range main ~addr:0 ~len:(8 * 4096)
+        Mem.Page_table.Read_write;
+      let pt = Mem.Address_space.page_table main in
+      let checkpoint prev =
+        (match prev with
+        | Some old ->
+          Mem.Page_table.free_all (Mem.Address_space.page_table old)
+        | None -> ());
+        let child = Mem.Address_space.fork main in
+        Parallaft.Dirty_tracker.clear Parallaft.Config.Soft_dirty pt;
+        Some child
+      in
+      let backends_agree () =
+        Parallaft.Dirty_tracker.collect Parallaft.Config.Soft_dirty pt
+        = Parallaft.Dirty_tracker.collect Parallaft.Config.Map_count pt
+      in
+      let ckpt = ref (checkpoint None) in
+      List.for_all
+        (fun (store, addr) ->
+          (if store then Mem.Address_space.store64 main addr addr
+           else ckpt := checkpoint !ckpt);
+          backends_agree ())
+        ops)
+
+(* COW bookkeeping: at any moment, every live frame's refcount equals
+   the number of page-table entries mapping it (summed over all live
+   processes), and tearing every process down frees every frame. *)
+let qcheck_frame_refcounts_match_mappings =
+  QCheck.Test.make ~name:"frame refcounts equal mapping counts; no leaks"
+    ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 40)
+        (triple (int_bound 2) small_nat (int_bound ((8 * 4096) - 9))))
+    (fun ops ->
+      let alloc = Mem.Frame.allocator ~page_size in
+      let first = Mem.Address_space.create alloc in
+      Mem.Address_space.map_range first ~addr:0 ~len:(8 * 4096)
+        Mem.Page_table.Read_write;
+      let live = ref [ first ] in
+      let pick i = List.nth !live (i mod List.length !live) in
+      List.iter
+        (fun (op, which, addr) ->
+          match op with
+          | 0 -> live := Mem.Address_space.fork (pick which) :: !live
+          | 1 -> Mem.Address_space.store64 (pick which) addr addr
+          | _ ->
+            (* process exit; keep at least one process alive *)
+            if List.length !live > 1 then begin
+              let victim = pick which in
+              Mem.Page_table.free_all (Mem.Address_space.page_table victim);
+              live := List.filter (fun a -> a != victim) !live
+            end)
+        ops;
+      let counts : (int, Mem.Frame.t * int) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun a ->
+          Mem.Page_table.iter_mapped (Mem.Address_space.page_table a)
+            (fun ~vpn:_ f ->
+              let n =
+                match Hashtbl.find_opt counts f.Mem.Frame.id with
+                | Some (_, n) -> n
+                | None -> 0
+              in
+              Hashtbl.replace counts f.Mem.Frame.id (f, n + 1)))
+        !live;
+      let refcounts_ok =
+        Hashtbl.fold
+          (fun _ (f, n) acc -> acc && f.Mem.Frame.refcount = n)
+          counts true
+      in
+      List.iter
+        (fun a -> Mem.Page_table.free_all (Mem.Address_space.page_table a))
+        !live;
+      refcounts_ok && Mem.Frame.live_frames alloc = 0)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "mem"
@@ -262,6 +350,7 @@ let () =
           tc "fork isolation" `Quick test_cow_fork_isolation;
           tc "copies counted" `Quick test_cow_copy_counted;
           QCheck_alcotest.to_alcotest qcheck_cow_preserves_parent;
+          QCheck_alcotest.to_alcotest qcheck_frame_refcounts_match_mappings;
         ] );
       ( "dirty-tracking",
         [
@@ -269,6 +358,7 @@ let () =
           tc "map-count" `Quick test_map_count_tracking;
           tc "mechanisms agree" `Quick test_dirty_mechanisms_agree_after_fork;
           QCheck_alcotest.to_alcotest qcheck_soft_dirty_covers_writes;
+          QCheck_alcotest.to_alcotest qcheck_dirty_backends_agree;
         ] );
       ( "address_space",
         [

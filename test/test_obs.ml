@@ -374,6 +374,52 @@ let test_detections_oldest_first () =
   | [ (1, _); (2, _) ] -> ()
   | _ -> Alcotest.fail "detections_oldest_first should be chronological"
 
+(* {2 Sink merging (parallel fan-out support)} *)
+
+let task_sink i =
+  let s = Obs.Sink.create () in
+  Obs.Sink.incr s "segments";
+  Obs.Sink.add s (Printf.sprintf "task%d.only" i) i;
+  Obs.Sink.observe s "latency_ns" (float_of_int (100 * (i + 1)));
+  Obs.Sink.emit s ~ts_ns:(10 * i) ~track:(Obs.Trace.Proc i)
+    ~phase:Obs.Trace.Instant
+    (Printf.sprintf "task%d" i);
+  s
+
+let test_sink_merge_deterministic () =
+  (* Merging per-task sinks in task order must be reproducible: two
+     merges of equal task sinks give byte-identical traces and metric
+     dumps, regardless of how the tasks themselves were scheduled. *)
+  let merged () =
+    let dst = Obs.Sink.create () in
+    Obs.Sink.merge_into dst (List.init 3 task_sink);
+    dst
+  in
+  let a = merged () and b = merged () in
+  Alcotest.(check string) "traces identical"
+    (Obs.Export.chrome_json a.Obs.Sink.trace)
+    (Obs.Export.chrome_json b.Obs.Sink.trace);
+  Alcotest.(check string) "metrics identical"
+    (Obs.Metrics.to_text a.Obs.Sink.metrics)
+    (Obs.Metrics.to_text b.Obs.Sink.metrics);
+  (* Counters sum across sources; events append in task order. *)
+  Alcotest.(check int) "counter summed" 3
+    (Obs.Metrics.counter a.Obs.Sink.metrics "segments");
+  Alcotest.(check int) "per-task counters kept" 2
+    (Obs.Metrics.counter a.Obs.Sink.metrics "task2.only");
+  let names =
+    List.map (fun e -> e.Obs.Trace.name) (Obs.Trace.events a.Obs.Sink.trace)
+  in
+  Alcotest.(check (list string)) "events in task order"
+    [ "task0"; "task1"; "task2" ] names;
+  match Obs.Metrics.hist a.Obs.Sink.metrics "latency_ns" with
+  | Some h ->
+    Alcotest.(check int) "histogram observations re-added" 3
+      (Obs.Metrics.Hist.count h);
+    Alcotest.(check (float 1e-9)) "histogram sum" 600.0
+      (Obs.Metrics.Hist.sum h)
+  | None -> Alcotest.fail "merged histogram missing"
+
 (* {2 Log quiet flag} *)
 
 let test_log_quiet_flag () =
@@ -426,6 +472,11 @@ let () =
         [
           Alcotest.test_case "detections reported oldest first" `Quick
             test_detections_oldest_first;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "deterministic sink merge" `Quick
+            test_sink_merge_deterministic;
         ] );
       ( "log",
         [ Alcotest.test_case "quiet flag" `Quick test_log_quiet_flag ] );

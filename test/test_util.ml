@@ -142,6 +142,52 @@ let qcheck_geomean_scale =
       let g2 = Util.Stats.geomean (List.map (fun x -> 2.0 *. x) xs) in
       Float.abs (g2 -. (2.0 *. g)) < 1e-6 *. Float.max 1.0 g2)
 
+let test_pool_map_matches_list_map () =
+  let xs = List.init 57 (fun i -> i) in
+  Alcotest.(check (list int)) "jobs 4 ordered"
+    (List.map (fun x -> x * x) xs)
+    (Util.Pool.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "jobs 1 ordered"
+    (List.map (fun x -> x * x) xs)
+    (Util.Pool.map ~jobs:1 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty" [] (Util.Pool.map ~jobs:4 (fun x -> x) [])
+
+let test_pool_sequential_effect_order () =
+  (* jobs = 1 is the plain sequential path: effects happen in input
+     order on the calling domain, no domain is spawned. *)
+  let seen = ref [] in
+  ignore (Util.Pool.map ~jobs:1 (fun x -> seen := x :: !seen) [ 1; 2; 3; 4 ]);
+  Alcotest.(check (list int)) "input order" [ 1; 2; 3; 4 ] (List.rev !seen)
+
+let test_pool_exception_lowest_index () =
+  (* Indices 3, 10 and 17 fail; whichever domain hits one first, the
+     lowest-indexed failure must be the one re-raised. *)
+  match
+    Util.Pool.map ~jobs:4
+      (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i)
+      (List.init 21 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg ->
+    Alcotest.(check string) "lowest failing index wins" "3" msg
+
+let test_pool_jobs_resolution () =
+  let saved = Util.Pool.jobs () in
+  Util.Pool.set_jobs 5;
+  Alcotest.(check int) "set_jobs wins" 5 (Util.Pool.jobs ());
+  Util.Pool.set_jobs 0;
+  Alcotest.(check int) "clamped to 1" 1 (Util.Pool.jobs ());
+  Util.Pool.set_jobs saved;
+  Alcotest.(check bool) "default is at least 1" true
+    (Util.Pool.default_jobs () >= 1)
+
+let qcheck_pool_map_is_list_map =
+  QCheck.Test.make ~name:"Pool.map = List.map at every width" ~count:50
+    QCheck.(pair (int_range 1 5) (list_of_size Gen.(0 -- 30) int))
+    (fun (jobs, xs) ->
+      Util.Pool.map ~jobs (fun x -> (x * 31) lxor 7) xs
+      = List.map (fun x -> (x * 31) lxor 7) xs)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "util"
@@ -164,6 +210,14 @@ let () =
           tc "overhead" `Quick test_overhead;
           tc "clampf" `Quick test_clampf;
           QCheck_alcotest.to_alcotest qcheck_geomean_scale;
+        ] );
+      ( "pool",
+        [
+          tc "map matches List.map" `Quick test_pool_map_matches_list_map;
+          tc "sequential effect order" `Quick test_pool_sequential_effect_order;
+          tc "exception lowest index" `Quick test_pool_exception_lowest_index;
+          tc "jobs resolution" `Quick test_pool_jobs_resolution;
+          QCheck_alcotest.to_alcotest qcheck_pool_map_is_list_map;
         ] );
       ( "table",
         [
