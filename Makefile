@@ -1,6 +1,6 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
-.PHONY: all build test fmt-check smoke parallel-smoke ci clean
+.PHONY: all build test fmt-check smoke parallel-smoke compare-smoke ci clean
 
 all: build
 
@@ -34,7 +34,14 @@ parallel-smoke: build
 	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 PARALLAFT_SCALE=0.1 \
 	  dune exec bin/experiments_main.exe -- -j 4 fig5
 
-ci: build test fmt-check smoke parallel-smoke
+# The comparator fast paths end to end: runs both comparator fixtures
+# once and asserts the cold->warm accounting (identity skips happen,
+# page_hash_hits > 0, a warm compare hashes at most half the cold
+# compare's bytes). Exits nonzero on any regression.
+compare-smoke: build
+	PARALLAFT_QUICK=1 dune exec bench/main.exe -- --compare-smoke
+
+ci: build test fmt-check smoke parallel-smoke compare-smoke
 
 clean:
 	dune clean

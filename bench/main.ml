@@ -42,6 +42,39 @@ let forked_aspace_pair () =
   let child = Mem.Address_space.fork aspace in
   (aspace, child)
 
+(* Reference/candidate CPUs over a forked 256-page working set.
+   [touched] pages are COWed on {e both} sides with the {e same} values:
+   frame identity is broken (digests must be computed) but contents
+   agree, so every compare verdict is Match. The untouched remainder
+   still shares frames and exercises the identity short-circuit. *)
+let comparator_fixture ~touched () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let ref_as = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range ref_as ~addr:0 ~len:(256 * page_size)
+    Mem.Page_table.Read_write;
+  for vpn = 0 to 255 do
+    Mem.Address_space.store64 ref_as (vpn * page_size) (vpn + 1)
+  done;
+  let cand_as = Mem.Address_space.fork ref_as in
+  for vpn = 0 to touched - 1 do
+    Mem.Address_space.store64 ref_as (vpn * page_size) (vpn + 1000);
+    Mem.Address_space.store64 cand_as (vpn * page_size) (vpn + 1000)
+  done;
+  let program = Isa.Asm.assemble_exn "halt" in
+  let a =
+    Machine.Cpu.create ~rng:(Util.Rng.create ~seed:1L) ~program ~aspace:ref_as ()
+  in
+  let b =
+    Machine.Cpu.create ~rng:(Util.Rng.create ~seed:1L) ~program ~aspace:cand_as ()
+  in
+  (a, b)
+
+let all_256_vpns = Array.init 256 (fun i -> i)
+
+let compare_fixture ?cache (a, b) =
+  Parallaft.Comparator.compare_states ~hasher:Parallaft.Config.Xxh64_hash ?cache
+    ~reference:a ~candidate:b ~dirty_vpns:all_256_vpns ()
+
 let protected_run ?fault_plan config_of () =
   let config =
     match fault_plan with
@@ -106,7 +139,27 @@ let tests =
              Mem.Address_space.store64 child (vpn * page_size) vpn
            done;
            let pt = Mem.Address_space.page_table child in
-           assert (List.length (Mem.Page_table.uniquely_mapped pt) >= 128)));
+           assert (Array.length (Mem.Page_table.uniquely_mapped pt) >= 128)));
+    (* §4.4 comparator, shared-frame-heavy working set: most vpns take
+       the frame-identity short-circuit; the touched rest hit the digest
+       memo after the first (cold) run. *)
+    Test.make ~name:"comparator:shared_heavy_warm_cache"
+      (Staged.stage
+         (let pair = comparator_fixture ~touched:16 () in
+          let cache = Mem.Page_digest_cache.create ~capacity:4096 in
+          fun () ->
+            let verdict, _ = compare_fixture ~cache pair in
+            assert (verdict = Parallaft.Comparator.Match)));
+    (* §4.4 comparator, fully diverged working set with a cold cache:
+       every page is read and hashed on both sides, every run. *)
+    Test.make ~name:"comparator:fully_diverged_cold_cache"
+      (Staged.stage
+         (let pair = comparator_fixture ~touched:256 () in
+          let cache = Mem.Page_digest_cache.create ~capacity:4096 in
+          fun () ->
+            Mem.Page_digest_cache.clear cache;
+            let verdict, _ = compare_fixture ~cache pair in
+            assert (verdict = Parallaft.Comparator.Match)));
     (* Figure 10 (fault injection): a protected run with an armed flip. *)
     Test.make ~name:"fig10:fault_injection_run"
       (Staged.stage
@@ -209,15 +262,57 @@ let parse_jobs () =
   in
   go (Array.to_list Sys.argv)
 
+(* CI smoke for the comparator fast paths: run both comparator fixtures
+   once and check the cold→warm accounting, exiting nonzero on any
+   regression. Wired as [make compare-smoke]. *)
+let run_compare_smoke () =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let shared = comparator_fixture ~touched:16 () in
+  let cache = Mem.Page_digest_cache.create ~capacity:4096 in
+  let v_cold, cold = compare_fixture ~cache shared in
+  let v_warm, warm = compare_fixture ~cache shared in
+  let show tag (s : Parallaft.Comparator.compare_stats) =
+    Printf.printf
+      "  %-5s bytes_hashed=%-8d pages_skipped_identical=%-4d hits=%-4d misses=%d\n"
+      tag s.Parallaft.Comparator.bytes_hashed
+      s.Parallaft.Comparator.pages_skipped_identical
+      s.Parallaft.Comparator.page_hash_hits s.Parallaft.Comparator.page_hash_misses
+  in
+  print_endline "compare-smoke: shared-frame-heavy fixture, cold then warm";
+  show "cold" cold;
+  show "warm" warm;
+  if v_cold <> Parallaft.Comparator.Match then fail "cold verdict is not Match";
+  if v_warm <> Parallaft.Comparator.Match then fail "warm verdict is not Match";
+  if cold.Parallaft.Comparator.pages_skipped_identical = 0 then
+    fail "no pages took the frame-identity short-circuit";
+  if warm.Parallaft.Comparator.page_hash_hits = 0 then
+    fail "warm run served no digests from the memo";
+  if warm.Parallaft.Comparator.bytes_hashed * 2 > cold.Parallaft.Comparator.bytes_hashed
+  then
+    fail "warm run hashed %d bytes, more than half the cold run's %d"
+      warm.Parallaft.Comparator.bytes_hashed cold.Parallaft.Comparator.bytes_hashed;
+  let diverged = comparator_fixture ~touched:256 () in
+  Mem.Page_digest_cache.clear cache;
+  let v_div, div = compare_fixture ~cache diverged in
+  print_endline "compare-smoke: fully diverged fixture, cold cache";
+  show "cold" div;
+  if v_div <> Parallaft.Comparator.Match then fail "diverged-fixture verdict is not Match";
+  if div.Parallaft.Comparator.bytes_hashed <> 2 * 256 * page_size then
+    fail "diverged fixture should hash every page on both sides";
+  print_endline "compare-smoke: OK"
+
 let () =
-  parse_jobs ();
-  run_microbenches ();
+  if Array.exists (( = ) "--compare-smoke") Sys.argv then run_compare_smoke ()
+  else begin
+    parse_jobs ();
+    run_microbenches ();
   print_newline ();
   print_endline "================================================================";
   print_endline "Part 2: full reproduction of every table and figure";
   Printf.printf "(parallel experiment jobs: %d)\n" (Util.Pool.jobs ());
   print_endline "================================================================";
   print_newline ();
-  match Experiments.Registry.find "all" with
-  | Some exps -> List.iter Experiments.Registry.run exps
-  | None -> assert false
+    match Experiments.Registry.find "all" with
+    | Some exps -> List.iter Experiments.Registry.run exps
+    | None -> assert false
+  end

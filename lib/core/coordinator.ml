@@ -12,7 +12,7 @@ type segment = {
   mutable snapshot : E.pid option;
   mutable end_point : Exec_point.t option;
   mutable insn_delta : int;
-  mutable main_dirty : int list;
+  mutable main_dirty : int array;
   mutable replay : Exec_point.replay option;
   mutable cursor : Rr_log.cursor option;
   mutable pending_signals : (Exec_point.t * Sim_os.Sig_num.t) list;
@@ -36,6 +36,11 @@ type t = {
   roles : (E.pid, role) Hashtbl.t;
   mutable cur : segment option;
   mutable live : segment list;
+  (* Per-frame page-digest memo shared by every segment comparison of the
+     run. Sound across rollbacks: frame ids are never reused and in-place
+     writes bump the generation, so stale entries can only miss. [None]
+     when the config disables the memo. *)
+  page_digests : Mem.Page_digest_cache.t option;
   mutable next_id : int;
   mutable seg_start_branches : int;
   mutable seg_start_insns : int;
@@ -195,7 +200,7 @@ let start_segment t =
       snapshot = None;
       end_point = None;
       insn_delta = 0;
-      main_dirty = [];
+      main_dirty = [||];
       replay = None;
       cursor = None;
       pending_signals = [];
@@ -300,8 +305,8 @@ let end_segment t =
       let pt = page_table_of t t.main in
       seg.main_dirty <- Dirty_tracker.collect t.cfg.Config.dirty_backend pt;
       t.stats.Stats.dirty_pages_total <-
-        t.stats.Stats.dirty_pages_total + List.length seg.main_dirty;
-      observe t "segment.dirty_pages" (float_of_int (List.length seg.main_dirty));
+        t.stats.Stats.dirty_pages_total + Array.length seg.main_dirty;
+      observe t "segment.dirty_pages" (float_of_int (Array.length seg.main_dirty));
       charge_scan t t.main
         ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt);
       let snapshot = E.fork_process t.eng t.main in
@@ -313,7 +318,7 @@ let end_segment t =
         [
           ("seg", Obs.Trace.Int seg.id);
           ("insns", Obs.Trace.Int seg.insn_delta);
-          ("dirty_pages", Obs.Trace.Int (List.length seg.main_dirty));
+          ("dirty_pages", Obs.Trace.Int (Array.length seg.main_dirty));
         ]
       "segment";
     t.cur <- None;
@@ -657,18 +662,30 @@ let reached_end t seg =
         Dirty_tracker.collect t.cfg.Config.dirty_backend (page_table_of t seg.checker)
       in
       let union = Comparator.union_sorted seg.main_dirty checker_dirty in
-      let verdict, bytes =
+      let verdict, cs =
         Comparator.compare_states ~hasher:t.cfg.Config.hasher
-          ~reference:(E.cpu t.eng snap) ~candidate:cpu ~dirty_vpns:union
+          ?cache:t.page_digests ~reference:(E.cpu t.eng snap) ~candidate:cpu
+          ~dirty_vpns:union ()
       in
+      let bytes = cs.Comparator.bytes_hashed in
       charge_hash t seg.checker ~bytes;
       t.stats.Stats.bytes_hashed <- t.stats.Stats.bytes_hashed + bytes;
+      t.stats.Stats.pages_skipped_identical <-
+        t.stats.Stats.pages_skipped_identical + cs.Comparator.pages_skipped_identical;
+      t.stats.Stats.page_hash_hits <-
+        t.stats.Stats.page_hash_hits + cs.Comparator.page_hash_hits;
+      t.stats.Stats.page_hash_misses <-
+        t.stats.Stats.page_hash_misses + cs.Comparator.page_hash_misses;
       t.stats.Stats.segments_compared <- t.stats.Stats.segments_compared + 1;
       emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
         ~args:
           [
             ("seg", Obs.Trace.Int seg.id);
             ("bytes", Obs.Trace.Int bytes);
+            ( "skipped_identical",
+              Obs.Trace.Int cs.Comparator.pages_skipped_identical );
+            ("hash_hits", Obs.Trace.Int cs.Comparator.page_hash_hits);
+            ("hash_misses", Obs.Trace.Int cs.Comparator.page_hash_misses);
             ( "verdict",
               Obs.Trace.Str
                 (match verdict with
@@ -677,6 +694,13 @@ let reached_end t seg =
           ]
         "compare";
       observe t "compare.bytes" (float_of_int bytes);
+      observe t "compare.pages_skipped"
+        (float_of_int cs.Comparator.pages_skipped_identical);
+      (match t.cfg.Config.obs with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.add s "compare.page_hash_hits" cs.Comparator.page_hash_hits;
+        Obs.Sink.add s "compare.page_hash_misses" cs.Comparator.page_hash_misses);
       finish_checker t seg
         (match verdict with
         | Comparator.Match -> None
@@ -891,6 +915,13 @@ let create eng cfg ~program =
       roles = Hashtbl.create 16;
       cur = None;
       live = [];
+      page_digests =
+        (if cfg.Config.compare_states && cfg.Config.page_hash_cache_pages > 0
+         then
+           Some
+             (Mem.Page_digest_cache.create
+                ~capacity:cfg.Config.page_hash_cache_pages)
+         else None);
       next_id = 0;
       seg_start_branches = 0;
       seg_start_insns = 0;

@@ -11,10 +11,11 @@ val clear : Config.dirty_backend -> Mem.Page_table.t -> unit
 (** Reset tracking state at a segment start (a no-op for [Map_count]
     and [Full_compare]). *)
 
-val collect : Config.dirty_backend -> Mem.Page_table.t -> int list
-(** Sorted vpns considered modified. Both real backends return a
-    superset of the truly modified pages, which is safe: comparing an
-    unmodified page cannot produce a false mismatch. *)
+val collect : Config.dirty_backend -> Mem.Page_table.t -> int array
+(** Sorted, duplicate-free vpn array considered modified. Both real
+    backends return a superset of the truly modified pages, which is
+    safe: comparing an unmodified page cannot produce a false
+    mismatch. *)
 
 val scan_cost_pages : Config.dirty_backend -> Mem.Page_table.t -> int
 (** How many PTEs a [collect]+[clear] round visits — the runtime-work

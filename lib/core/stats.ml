@@ -5,6 +5,9 @@ type t = {
   mutable segments_compared : int;
   mutable dirty_pages_total : int;
   mutable bytes_hashed : int;
+  mutable pages_skipped_identical : int;
+  mutable page_hash_hits : int;
+  mutable page_hash_misses : int;
   mutable syscalls_recorded : int;
   mutable nondet_recorded : int;
   mutable signals_recorded : int;
@@ -30,6 +33,9 @@ let create () =
     segments_compared = 0;
     dirty_pages_total = 0;
     bytes_hashed = 0;
+    pages_skipped_identical = 0;
+    page_hash_hits = 0;
+    page_hash_misses = 0;
     syscalls_recorded = 0;
     nondet_recorded = 0;
     signals_recorded = 0;
@@ -71,6 +77,9 @@ let to_assoc t =
     ("segments.compared", string_of_int t.segments_compared);
     ("comparator.dirty_pages", string_of_int t.dirty_pages_total);
     ("comparator.bytes_hashed", string_of_int t.bytes_hashed);
+    ("comparator.pages_skipped_identical", string_of_int t.pages_skipped_identical);
+    ("comparator.page_hash_hits", string_of_int t.page_hash_hits);
+    ("comparator.page_hash_misses", string_of_int t.page_hash_misses);
     ("rr.syscalls", string_of_int t.syscalls_recorded);
     ("rr.nondet_instructions", string_of_int t.nondet_recorded);
     ("rr.signals", string_of_int t.signals_recorded);

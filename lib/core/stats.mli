@@ -10,6 +10,15 @@ type t = {
   mutable segments_compared : int;
   mutable dirty_pages_total : int;
   mutable bytes_hashed : int;
+      (** page bytes actually read and hashed by the comparator; identity
+          skips and digest-memo hits contribute nothing *)
+  mutable pages_skipped_identical : int;
+      (** dirty-union vpns skipped because both sides still mapped the
+          same COW frame *)
+  mutable page_hash_hits : int;
+      (** per-frame page digests served from the comparator's memo *)
+  mutable page_hash_misses : int;
+      (** per-frame page digests computed from page bytes *)
   mutable syscalls_recorded : int;
   mutable nondet_recorded : int;
   mutable signals_recorded : int;

@@ -55,11 +55,8 @@ let range_mapped t ~addr ~len =
   if len <= 0 then true
   else begin
     let first = vpn_of_addr t addr and last = vpn_of_addr t (addr + len - 1) in
-    let ok = ref true in
-    for vpn = first to last do
-      if not (Page_table.is_mapped t.pt ~vpn) then ok := false
-    done;
-    !ok
+    let rec go vpn = vpn > last || (Page_table.is_mapped t.pt ~vpn && go (vpn + 1)) in
+    go first
   end
 
 let read_page t addr =

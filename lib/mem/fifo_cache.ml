@@ -37,6 +37,33 @@ let next_victim t =
   t.rng_state <- x;
   x mod t.cap
 
+(* Insert a non-resident [frame], returning the resident it displaced. *)
+let install t frame =
+  let slot =
+    match t.free with
+    | s :: rest ->
+      t.free <- rest;
+      s
+    | [] ->
+      if t.filled < t.cap then begin
+        let s = t.filled in
+        t.filled <- t.filled + 1;
+        s
+      end
+      else next_victim t
+  in
+  let old = t.slots.(slot) in
+  let evicted =
+    if old >= 0 then begin
+      Hashtbl.remove t.resident old;
+      Some old
+    end
+    else None
+  in
+  t.slots.(slot) <- frame;
+  Hashtbl.replace t.resident frame slot;
+  evicted
+
 let touch t frame =
   if Hashtbl.mem t.resident frame then begin
     t.hits <- t.hits + 1;
@@ -44,24 +71,18 @@ let touch t frame =
   end
   else begin
     t.misses <- t.misses + 1;
-    let slot =
-      match t.free with
-      | s :: rest ->
-        t.free <- rest;
-        s
-      | [] ->
-        if t.filled < t.cap then begin
-          let s = t.filled in
-          t.filled <- t.filled + 1;
-          s
-        end
-        else next_victim t
-    in
-    let old = t.slots.(slot) in
-    if old >= 0 then Hashtbl.remove t.resident old;
-    t.slots.(slot) <- frame;
-    Hashtbl.replace t.resident frame slot;
+    ignore (install t frame);
     false
+  end
+
+let admit t frame =
+  if Hashtbl.mem t.resident frame then begin
+    t.hits <- t.hits + 1;
+    None
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    install t frame
   end
 
 let remove t frame =

@@ -24,6 +24,12 @@ val touch : t -> int -> bool
     evicting a (deterministically) random resident when full, and
     returns [false]. *)
 
+val admit : t -> int -> int option
+(** Like {!touch}, but reports the frame evicted to make room
+    ([Some victim] only on a miss that displaced a resident). Callers
+    that maintain side tables keyed on residents — e.g.
+    {!Page_digest_cache} — use the victim to drop the matching entry. *)
+
 val remove : t -> int -> unit
 (** [remove t frame] invalidates a resident frame (no-op if absent).
     Used when COW retires a frame from a cluster's working set: the

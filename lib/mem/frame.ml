@@ -2,6 +2,7 @@ type t = {
   id : int;
   data : Bytes.t;
   mutable refcount : int;
+  mutable generation : int;
 }
 
 type allocator = {
@@ -24,7 +25,7 @@ let alloc a data =
   a.next_id <- id + 1;
   a.live <- a.live + 1;
   a.total <- a.total + 1;
-  { id; data; refcount = 1 }
+  { id; data; refcount = 1; generation = 0 }
 
 let alloc_zero a = alloc a (Bytes.make a.psize '\000')
 
@@ -38,6 +39,8 @@ let decref a f =
   if f.refcount <= 0 then invalid_arg "Frame.decref: refcount already zero";
   f.refcount <- f.refcount - 1;
   if f.refcount = 0 then a.live <- a.live - 1
+
+let bump_generation f = f.generation <- f.generation + 1
 
 let live_frames a = a.live
 let total_allocated a = a.total

@@ -14,6 +14,12 @@ type t = private {
   id : int;  (** unique physical frame number *)
   data : Bytes.t;
   mutable refcount : int;
+  mutable generation : int;
+      (** content version: bumped by {!Page_table.store_prepare} on every
+          in-place write to an exclusively owned frame. Because frame ids
+          are never reused, [(id, generation)] is a stable key for the
+          frame's byte contents — the comparator memoizes per-page
+          digests under it. *)
 }
 
 type allocator
@@ -40,6 +46,11 @@ val decref : allocator -> t -> unit
 (** Drop one reference; at zero the frame is accounted as freed.
 
     @raise Invalid_argument if the refcount is already zero. *)
+
+val bump_generation : t -> unit
+(** Advance the content version. Called by the write-side page walk when
+    the store lands in place (no COW copy), invalidating any memoized
+    digest of the old contents. *)
 
 (** {2 Statistics} *)
 

@@ -1,0 +1,42 @@
+type t = {
+  frames : Fifo_cache.t; (* bounded resident set; drives eviction *)
+  digests : (int, int * int64) Hashtbl.t; (* frame id -> (generation, digest) *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    frames = Fifo_cache.create ~capacity;
+    digests = Hashtbl.create (2 * capacity);
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = Fifo_cache.capacity t.frames
+
+let find t ~frame ~generation =
+  match Hashtbl.find_opt t.digests frame with
+  | Some (g, d) when g = generation ->
+    t.hits <- t.hits + 1;
+    Some d
+  | Some _ | None ->
+    (* Absent, or a stale digest of an earlier content version of the
+       same frame (an in-place write bumped the generation). *)
+    t.misses <- t.misses + 1;
+    None
+
+let store t ~frame ~generation digest =
+  (match Fifo_cache.admit t.frames frame with
+  | Some victim -> Hashtbl.remove t.digests victim
+  | None -> ());
+  Hashtbl.replace t.digests frame (generation, digest)
+
+let clear t =
+  Fifo_cache.clear t.frames;
+  Hashtbl.reset t.digests;
+  t.hits <- 0;
+  t.misses <- 0
+
+let hits t = t.hits
+let misses t = t.misses

@@ -72,12 +72,22 @@ let store_prepare t ~vpn =
       pte.frame <- fresh;
       Some old_id
     end
-    else None
+    else begin
+      (* In-place write to an exclusively owned frame: the frame id stays
+         the same while the bytes change, so the content version must
+         advance to invalidate memoized digests. *)
+      Frame.bump_generation pte.frame;
+      None
+    end
   in
   pte.soft_dirty <- true;
   (pte.frame.Frame.data, old_frame)
 
 let read_bytes_at t ~vpn = (find t vpn ~write:false).frame.Frame.data
+
+let frame_view t ~vpn =
+  let f = (find t vpn ~write:false).frame in
+  (f.Frame.id, f.Frame.generation, f.Frame.data)
 
 let fork t =
   let child = { alloc = t.alloc; entries = Hashtbl.create (Hashtbl.length t.entries) } in
@@ -96,9 +106,26 @@ let free_all t =
 let clear_soft_dirty t =
   Hashtbl.iter (fun _ pte -> pte.soft_dirty <- false) t.entries
 
+let int_compare (a : int) (b : int) = compare a b
+
+(* Two passes over the table (count, then fill) so the result lands in a
+   right-sized array with no intermediate list — dirty sets are collected
+   at every segment boundary and flow straight into the comparator. *)
 let sorted_keys_where t pred =
-  Hashtbl.fold (fun vpn pte acc -> if pred pte then vpn :: acc else acc) t.entries []
-  |> List.sort compare
+  let n =
+    Hashtbl.fold (fun _ pte acc -> if pred pte then acc + 1 else acc) t.entries 0
+  in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun vpn pte ->
+      if pred pte then begin
+        out.(!i) <- vpn;
+        incr i
+      end)
+    t.entries;
+  Array.sort int_compare out;
+  out
 
 let soft_dirty_pages t = sorted_keys_where t (fun pte -> pte.soft_dirty)
 

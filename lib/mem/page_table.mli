@@ -67,6 +67,14 @@ val read_bytes_at : t -> vpn:int -> Bytes.t
 
     @raise Page_fault on unmapped [vpn]. *)
 
+val frame_view : t -> vpn:int -> int * int * Bytes.t
+(** [frame_view t ~vpn] is [(frame_id, generation, data)] for the frame
+    backing [vpn] — everything the comparator needs in one walk: the id
+    for the frame-identity short-circuit, the [(id, generation)] pair as
+    the digest-memoization key, and the bytes for a cache miss.
+
+    @raise Page_fault on unmapped [vpn]. *)
+
 val fork : t -> t
 (** COW fork: the child shares every frame; all refcounts increase.
     Soft-dirty bits are copied (the child inherits them, as Linux does).
@@ -78,11 +86,14 @@ val free_all : t -> unit
 (** {2 Dirty-page tracking} *)
 
 val clear_soft_dirty : t -> unit
-val soft_dirty_pages : t -> int list
-(** Sorted list of vpns with the soft-dirty bit set. *)
+val soft_dirty_pages : t -> int array
+(** Sorted array of vpns with the soft-dirty bit set. Dirty sets are
+    arrays (not lists) end to end: they are produced at every segment
+    boundary and consumed by merge/compare loops that want flat,
+    allocation-light storage. *)
 
-val uniquely_mapped : t -> int list
-(** Sorted list of vpns whose frame has map count 1 (the PAGEMAP_SCAN
+val uniquely_mapped : t -> int array
+(** Sorted array of vpns whose frame has map count 1 (the PAGEMAP_SCAN
     method). *)
 
 (** {2 Accounting} *)
@@ -92,5 +103,5 @@ val pss_bytes : t -> int
 (** Proportional set size: [page_size / refcount] summed over mappings. *)
 
 val iter_mapped : t -> (vpn:int -> Frame.t -> unit) -> unit
-val mapped_vpns : t -> int list
+val mapped_vpns : t -> int array
 (** Sorted. *)

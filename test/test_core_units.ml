@@ -190,14 +190,14 @@ let identical_cpus () =
   ignore (Machine.Cpu.run b ~env:null_env ~max_cycles:1_000_000);
   (a, b)
 
-let compare_states ~reference ~candidate ~dirty =
+let compare_states ?cache ~reference ~candidate dirty =
   fst
     (Parallaft.Comparator.compare_states ~hasher:Parallaft.Config.Xxh64_hash
-       ~reference ~candidate ~dirty_vpns:dirty)
+       ?cache ~reference ~candidate ~dirty_vpns:dirty ())
 
 let test_comparator_match () =
   let a, b = identical_cpus () in
-  match compare_states ~reference:a ~candidate:b ~dirty:[ 1; 2 ] with
+  match compare_states ~reference:a ~candidate:b [| 1; 2 |] with
   | Parallaft.Comparator.Match -> ()
   | Parallaft.Comparator.Mismatch m ->
     Alcotest.failf "spurious mismatch: %s" (Parallaft.Detection.mismatch_to_string m)
@@ -205,7 +205,7 @@ let test_comparator_match () =
 let test_comparator_register_mismatch () =
   let a, b = identical_cpus () in
   Machine.Cpu.set_reg b 1 999;
-  match compare_states ~reference:a ~candidate:b ~dirty:[] with
+  match compare_states ~reference:a ~candidate:b [||] with
   | Parallaft.Comparator.Mismatch (Parallaft.Detection.Register_mismatch { reg = 1; _ })
     ->
     ()
@@ -216,10 +216,10 @@ let test_comparator_memory_mismatch () =
   Mem.Address_space.store64 (Machine.Cpu.aspace b) 0x1008 31337;
   (* Register state is identical; only memory differs, and only if the
      dirty set covers the corrupted page. *)
-  (match compare_states ~reference:a ~candidate:b ~dirty:[ 1 ] with
+  (match compare_states ~reference:a ~candidate:b [| 1 |] with
   | Parallaft.Comparator.Mismatch (Parallaft.Detection.Memory_mismatch _) -> ()
   | _ -> Alcotest.fail "memory corruption missed");
-  match compare_states ~reference:a ~candidate:b ~dirty:[ 2 ] with
+  match compare_states ~reference:a ~candidate:b [| 2 |] with
   | Parallaft.Comparator.Match -> () (* page 2 is untouched on both sides *)
   | _ -> Alcotest.fail "clean page mismatched"
 
@@ -228,33 +228,154 @@ let test_comparator_layout_mismatch () =
   Mem.Address_space.map_range (Machine.Cpu.aspace b) ~addr:0x100000 ~len:page_size
     Mem.Page_table.Read_write;
   let vpn = 0x100000 / page_size in
-  match compare_states ~reference:a ~candidate:b ~dirty:[ vpn ] with
+  match compare_states ~reference:a ~candidate:b [| vpn |] with
   | Parallaft.Comparator.Mismatch (Parallaft.Detection.Layout_mismatch _) -> ()
   | _ -> Alcotest.fail "layout divergence missed"
 
 let test_comparator_pc_mismatch () =
   let a, b = identical_cpus () in
   Machine.Cpu.set_pc b 0;
-  match compare_states ~reference:a ~candidate:b ~dirty:[] with
+  match compare_states ~reference:a ~candidate:b [||] with
   | Parallaft.Comparator.Mismatch (Parallaft.Detection.Register_mismatch { reg = -1; _ })
     ->
     ()
   | _ -> Alcotest.fail "pc divergence missed"
 
 let test_union_sorted () =
-  Alcotest.(check (list int)) "merge" [ 1; 2; 3; 4; 5 ]
-    (Parallaft.Comparator.union_sorted [ 1; 3; 5 ] [ 2; 3; 4 ]);
-  Alcotest.(check (list int)) "left empty" [ 1 ]
-    (Parallaft.Comparator.union_sorted [] [ 1 ]);
-  Alcotest.(check (list int)) "both empty" []
-    (Parallaft.Comparator.union_sorted [] [])
+  Alcotest.(check (array int)) "merge" [| 1; 2; 3; 4; 5 |]
+    (Parallaft.Comparator.union_sorted [| 1; 3; 5 |] [| 2; 3; 4 |]);
+  Alcotest.(check (array int)) "left empty" [| 1 |]
+    (Parallaft.Comparator.union_sorted [||] [| 1 |]);
+  Alcotest.(check (array int)) "both empty" [||]
+    (Parallaft.Comparator.union_sorted [||] [||])
 
 let qcheck_union_sorted_is_set_union =
   QCheck.Test.make ~name:"union_sorted = sorted set union" ~count:300
     QCheck.(pair (list small_nat) (list small_nat))
     (fun (a, b) ->
-      let a = List.sort_uniq compare a and b = List.sort_uniq compare b in
-      Parallaft.Comparator.union_sorted a b = List.sort_uniq compare (a @ b))
+      let sa = Array.of_list (List.sort_uniq compare a) in
+      let sb = Array.of_list (List.sort_uniq compare b) in
+      Parallaft.Comparator.union_sorted sa sb
+      = Array.of_list (List.sort_uniq compare (a @ b)))
+
+(* Reference/candidate CPUs over a freshly forked pair of address
+   spaces: 8 COW-shared data pages at 0x100000, each seeded with a
+   distinct value. Writes then exercise both COW (first touch of a
+   shared page) and in-place generation bumps (later touches). *)
+let data_base = 0x100000
+let data_pages = 8
+let data_vpn i = (data_base / page_size) + i
+
+let forked_cpu_pair () =
+  let program = Isa.Asm.assemble_exn "halt" in
+  let alloc = Mem.Frame.allocator ~page_size in
+  let ref_as = Mem.Address_space.create alloc in
+  List.iter
+    (fun { Isa.Program.base; bytes } ->
+      Mem.Address_space.write_bytes_map ref_as ~addr:base bytes)
+    program.Isa.Program.data;
+  Mem.Address_space.map_range ref_as ~addr:data_base
+    ~len:(data_pages * page_size) Mem.Page_table.Read_write;
+  for i = 0 to data_pages - 1 do
+    Mem.Address_space.store64 ref_as (data_base + (i * page_size)) (1000 + i)
+  done;
+  let cand_as = Mem.Address_space.fork ref_as in
+  let a =
+    Machine.Cpu.create ~rng:(Util.Rng.create ~seed:1L) ~program ~aspace:ref_as ()
+  in
+  let b =
+    Machine.Cpu.create ~rng:(Util.Rng.create ~seed:1L) ~program ~aspace:cand_as ()
+  in
+  (a, b)
+
+let all_data_vpns = Array.init data_pages data_vpn
+
+let test_comparator_identity_short_circuit () =
+  let a, b = forked_cpu_pair () in
+  let verdict, cs =
+    Parallaft.Comparator.compare_states ~hasher:Parallaft.Config.Xxh64_hash
+      ~reference:a ~candidate:b ~dirty_vpns:all_data_vpns ()
+  in
+  (match verdict with
+  | Parallaft.Comparator.Match -> ()
+  | _ -> Alcotest.fail "identical fork mismatched");
+  Alcotest.(check int) "every shared page skipped" data_pages
+    cs.Parallaft.Comparator.pages_skipped_identical;
+  Alcotest.(check int) "no bytes hashed" 0 cs.Parallaft.Comparator.bytes_hashed;
+  (* Diverge one page: only that vpn's two sides get hashed. *)
+  Mem.Address_space.store64 (Machine.Cpu.aspace b) data_base 9999;
+  let verdict, cs =
+    Parallaft.Comparator.compare_states ~hasher:Parallaft.Config.Xxh64_hash
+      ~reference:a ~candidate:b ~dirty_vpns:all_data_vpns ()
+  in
+  (match verdict with
+  | Parallaft.Comparator.Mismatch (Parallaft.Detection.Memory_mismatch _) -> ()
+  | _ -> Alcotest.fail "divergence missed");
+  Alcotest.(check int) "other pages still skipped" (data_pages - 1)
+    cs.Parallaft.Comparator.pages_skipped_identical;
+  Alcotest.(check int) "two pages of bytes hashed" (2 * page_size)
+    cs.Parallaft.Comparator.bytes_hashed
+
+let test_comparator_cache_generation_invalidation () =
+  let a, b = forked_cpu_pair () in
+  let cache = Mem.Page_digest_cache.create ~capacity:16 in
+  (match compare_states ~cache ~reference:a ~candidate:b all_data_vpns with
+  | Parallaft.Comparator.Match -> ()
+  | _ -> Alcotest.fail "identical fork mismatched");
+  (* First touch of a shared page COWs a fresh frame on the candidate. *)
+  Mem.Address_space.store64
+    (Machine.Cpu.aspace b)
+    (data_base + (3 * page_size))
+    777;
+  (match compare_states ~cache ~reference:a ~candidate:b all_data_vpns with
+  | Parallaft.Comparator.Mismatch (Parallaft.Detection.Memory_mismatch _) -> ()
+  | _ -> Alcotest.fail "divergence missed with warm cache");
+  (* Restoring the original value writes in place (the frame is now
+     exclusively owned): the id is unchanged, so only the generation
+     bump keeps the memo from serving the stale divergent digest. *)
+  Mem.Address_space.store64
+    (Machine.Cpu.aspace b)
+    (data_base + (3 * page_size))
+    1003;
+  (match compare_states ~cache ~reference:a ~candidate:b all_data_vpns with
+  | Parallaft.Comparator.Match -> ()
+  | _ -> Alcotest.fail "stale digest served after in-place write");
+  (* And warm re-comparison of the still-divergent-id page hits the memo. *)
+  let _, cs =
+    Parallaft.Comparator.compare_states ~hasher:Parallaft.Config.Xxh64_hash
+      ~cache ~reference:a ~candidate:b ~dirty_vpns:all_data_vpns ()
+  in
+  Alcotest.(check int) "warm run hashes nothing" 0
+    cs.Parallaft.Comparator.bytes_hashed;
+  Alcotest.(check int) "warm run is all hits" 2 cs.Parallaft.Comparator.page_hash_hits
+
+let qcheck_cached_matches_uncached =
+  (* Differential oracle for the memoization layer: after every random
+     fork-side write, the verdict with a (tiny, eviction-pressured)
+     digest cache must equal the from-scratch uncached verdict. *)
+  QCheck.Test.make ~name:"cached comparator verdict = uncached verdict" ~count:40
+    QCheck.(small_list (triple bool (0 -- (data_pages - 1)) (0 -- 100)))
+    (fun ops ->
+      let a, b = forked_cpu_pair () in
+      let cache = Mem.Page_digest_cache.create ~capacity:2 in
+      let ok = ref true in
+      let check_once () =
+        let cached =
+          compare_states ~cache ~reference:a ~candidate:b all_data_vpns
+        in
+        let uncached =
+          compare_states ~reference:a ~candidate:b all_data_vpns
+        in
+        if cached <> uncached then ok := false
+      in
+      check_once ();
+      List.iter
+        (fun (side, page, v) ->
+          let asp = Machine.Cpu.aspace (if side then a else b) in
+          Mem.Address_space.store64 asp (data_base + (page * page_size)) v;
+          check_once ())
+        ops;
+      !ok)
 
 let test_detection_classification () =
   Alcotest.(check bool) "benign is not detected" false
@@ -298,7 +419,12 @@ let () =
           tc "layout mismatch" `Quick test_comparator_layout_mismatch;
           tc "pc mismatch" `Quick test_comparator_pc_mismatch;
           tc "union_sorted" `Quick test_union_sorted;
+          tc "frame-identity short circuit" `Quick
+            test_comparator_identity_short_circuit;
+          tc "cache generation invalidation" `Quick
+            test_comparator_cache_generation_invalidation;
           QCheck_alcotest.to_alcotest qcheck_union_sorted_is_set_union;
+          QCheck_alcotest.to_alcotest qcheck_cached_matches_uncached;
         ] );
       ( "misc",
         [

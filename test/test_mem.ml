@@ -94,15 +94,15 @@ let test_soft_dirty () =
     Mem.Page_table.Read_write;
   let pt = Mem.Address_space.page_table aspace in
   Mem.Page_table.clear_soft_dirty pt;
-  Alcotest.(check (list int)) "clean after clear" []
+  Alcotest.(check (array int)) "clean after clear" [||]
     (Mem.Page_table.soft_dirty_pages pt);
   Mem.Address_space.store64 aspace (2 * page_size) 7;
   Mem.Address_space.store8 aspace 5 1;
-  Alcotest.(check (list int)) "exactly the written pages" [ 0; 2 ]
+  Alcotest.(check (array int)) "exactly the written pages" [| 0; 2 |]
     (Mem.Page_table.soft_dirty_pages pt);
   (* Reads never dirty. *)
   ignore (Mem.Address_space.load64 aspace (3 * page_size));
-  Alcotest.(check (list int)) "reads don't dirty" [ 0; 2 ]
+  Alcotest.(check (array int)) "reads don't dirty" [| 0; 2 |]
     (Mem.Page_table.soft_dirty_pages pt)
 
 let test_map_count_tracking () =
@@ -113,10 +113,10 @@ let test_map_count_tracking () =
     Mem.Page_table.Read_write;
   let child = Mem.Address_space.fork aspace in
   let child_pt = Mem.Address_space.page_table child in
-  Alcotest.(check (list int)) "all shared after fork" []
+  Alcotest.(check (array int)) "all shared after fork" [||]
     (Mem.Page_table.uniquely_mapped child_pt);
   Mem.Address_space.store64 child (page_size * 3) 9;
-  Alcotest.(check (list int)) "written page unique" [ 3 ]
+  Alcotest.(check (array int)) "written page unique" [| 3 |]
     (Mem.Page_table.uniquely_mapped child_pt)
 
 let test_dirty_mechanisms_agree_after_fork () =
@@ -132,7 +132,7 @@ let test_dirty_mechanisms_agree_after_fork () =
   Mem.Address_space.store64 child (page_size * 1) 1;
   Mem.Address_space.store64 child (page_size * 5) 2;
   Mem.Address_space.store8 child ((page_size * 6) + 100) 3;
-  Alcotest.(check (list int)) "soft-dirty = map-count"
+  Alcotest.(check (array int)) "soft-dirty = map-count"
     (Mem.Page_table.soft_dirty_pages child_pt)
     (Mem.Page_table.uniquely_mapped child_pt)
 
@@ -202,12 +202,97 @@ let test_fifo_cache_basics () =
   Alcotest.(check int) "hits" 1 (Mem.Fifo_cache.hits c);
   Alcotest.(check int) "misses" 3 (Mem.Fifo_cache.misses c)
 
+let test_fifo_cache_admit_reports_eviction () =
+  let c = Mem.Fifo_cache.create ~capacity:1 in
+  Alcotest.(check (option int)) "filling a free slot evicts nobody" None
+    (Mem.Fifo_cache.admit c 1);
+  Alcotest.(check (option int)) "hit evicts nobody" None (Mem.Fifo_cache.admit c 1);
+  Alcotest.(check (option int)) "capacity-1 admit names the victim" (Some 1)
+    (Mem.Fifo_cache.admit c 2);
+  Alcotest.(check bool) "victim gone" false (Mem.Fifo_cache.mem c 1);
+  Alcotest.(check bool) "newcomer resident" true (Mem.Fifo_cache.mem c 2);
+  (* [remove] frees the slot, so the next admit reuses it silently. *)
+  Mem.Fifo_cache.remove c 2;
+  Alcotest.(check (option int)) "freed slot reused without eviction" None
+    (Mem.Fifo_cache.admit c 3)
+
 let test_fifo_cache_clear () =
   let c = Mem.Fifo_cache.create ~capacity:4 in
   ignore (Mem.Fifo_cache.touch c 1);
   Mem.Fifo_cache.clear c;
   Alcotest.(check bool) "cleared" false (Mem.Fifo_cache.mem c 1);
   Alcotest.(check int) "counters reset" 0 (Mem.Fifo_cache.misses c)
+
+let test_frame_generation_bumps_in_place_only () =
+  let aspace = fresh_as () in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(2 * page_size)
+    Mem.Page_table.Read_write;
+  let pt = Mem.Address_space.page_table aspace in
+  let id0, gen0, _ = Mem.Page_table.frame_view pt ~vpn:0 in
+  (* Exclusively owned: each store walks store_prepare and bumps. *)
+  Mem.Address_space.store64 aspace 0 1;
+  let id1, gen1, _ = Mem.Page_table.frame_view pt ~vpn:0 in
+  Alcotest.(check int) "in-place write keeps the frame" id0 id1;
+  Alcotest.(check bool) "in-place write bumps the generation" true (gen1 > gen0);
+  (* COW: the child's write allocates a fresh frame at generation 0 and
+     leaves the parent's frame (id and generation) untouched. *)
+  let child = Mem.Address_space.fork aspace in
+  let child_pt = Mem.Address_space.page_table child in
+  Mem.Address_space.store64 child 0 2;
+  let cid, cgen, _ = Mem.Page_table.frame_view child_pt ~vpn:0 in
+  Alcotest.(check bool) "cow allocates a fresh frame" true (cid <> id1);
+  Alcotest.(check int) "fresh frame starts at generation 0" 0 cgen;
+  let id2, gen2, _ = Mem.Page_table.frame_view pt ~vpn:0 in
+  Alcotest.(check int) "parent frame id untouched by child cow" id1 id2;
+  Alcotest.(check int) "parent generation untouched by child cow" gen1 gen2
+
+let test_frame_view_consistent () =
+  let pt = fresh_pt () in
+  Mem.Page_table.map_zero pt ~vpn:5 Mem.Page_table.Read_write;
+  let id, _, data = Mem.Page_table.frame_view pt ~vpn:5 in
+  Alcotest.(check int) "same id as frame_id" (Mem.Page_table.frame_id pt ~vpn:5) id;
+  Alcotest.(check bool) "same bytes as read_bytes_at" true
+    (data == Mem.Page_table.read_bytes_at pt ~vpn:5);
+  match Mem.Page_table.frame_view pt ~vpn:6 with
+  | exception Mem.Page_table.Page_fault { vpn = 6; write = false } -> ()
+  | _ -> Alcotest.fail "expected Page_fault on unmapped vpn"
+
+let test_page_digest_cache_basics () =
+  let c = Mem.Page_digest_cache.create ~capacity:2 in
+  Alcotest.(check (option int64)) "cold miss" None
+    (Mem.Page_digest_cache.find c ~frame:1 ~generation:0);
+  Mem.Page_digest_cache.store c ~frame:1 ~generation:0 42L;
+  Alcotest.(check (option int64)) "hit on exact (frame, generation)" (Some 42L)
+    (Mem.Page_digest_cache.find c ~frame:1 ~generation:0);
+  Alcotest.(check (option int64)) "stale generation misses" None
+    (Mem.Page_digest_cache.find c ~frame:1 ~generation:1);
+  Mem.Page_digest_cache.store c ~frame:1 ~generation:1 43L;
+  Alcotest.(check (option int64)) "refreshed generation hits" (Some 43L)
+    (Mem.Page_digest_cache.find c ~frame:1 ~generation:1);
+  Alcotest.(check int) "hits counted" 2 (Mem.Page_digest_cache.hits c);
+  Alcotest.(check int) "misses counted" 2 (Mem.Page_digest_cache.misses c);
+  Mem.Page_digest_cache.clear c;
+  Alcotest.(check (option int64)) "cleared" None
+    (Mem.Page_digest_cache.find c ~frame:1 ~generation:1);
+  Alcotest.(check int) "counters reset" 0 (Mem.Page_digest_cache.hits c)
+
+let test_page_digest_cache_eviction_bounds () =
+  let cap = 2 in
+  let c = Mem.Page_digest_cache.create ~capacity:cap in
+  for frame = 0 to 9 do
+    Mem.Page_digest_cache.store c ~frame ~generation:0 (Int64.of_int frame)
+  done;
+  let resident = ref 0 in
+  for frame = 0 to 9 do
+    match Mem.Page_digest_cache.find c ~frame ~generation:0 with
+    | Some d ->
+      incr resident;
+      Alcotest.(check int64)
+        (Printf.sprintf "frame %d digest intact" frame)
+        (Int64.of_int frame) d
+    | None -> ()
+  done;
+  Alcotest.(check int) "exactly capacity digests survive" cap !resident
 
 let qcheck_cow_preserves_parent =
   QCheck.Test.make ~name:"random child writes never leak to parent" ~count:100
@@ -238,8 +323,8 @@ let qcheck_soft_dirty_covers_writes =
       let dirty = Mem.Page_table.soft_dirty_pages pt in
       List.for_all
         (fun a ->
-          List.mem (a / 4096) dirty
-          && List.mem ((a + 7) / 4096) dirty)
+          Array.mem (a / 4096) dirty
+          && Array.mem ((a + 7) / 4096) dirty)
         addrs)
 
 (* §4.4 equivalence: between checkpoints, the soft-dirty backend (clear
@@ -338,6 +423,9 @@ let () =
         [
           tc "refcounting" `Quick test_frame_refcounting;
           tc "allocator validation" `Quick test_frame_alloc_validation;
+          tc "generation bumps in place only" `Quick
+            test_frame_generation_bumps_in_place_only;
+          tc "frame_view consistent" `Quick test_frame_view_consistent;
         ] );
       ( "page_table",
         [
@@ -371,6 +459,12 @@ let () =
       ( "fifo_cache",
         [
           tc "basics" `Quick test_fifo_cache_basics;
+          tc "admit reports eviction" `Quick test_fifo_cache_admit_reports_eviction;
           tc "clear" `Quick test_fifo_cache_clear;
+        ] );
+      ( "page_digest_cache",
+        [
+          tc "basics" `Quick test_page_digest_cache_basics;
+          tc "eviction bounds residency" `Quick test_page_digest_cache_eviction_bounds;
         ] );
     ]
