@@ -1,6 +1,7 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
-.PHONY: all build test fmt-check smoke parallel-smoke compare-smoke ci clean
+.PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
+  invariants golden-check ci clean
 
 all: build
 
@@ -34,6 +35,20 @@ parallel-smoke: build
 	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 PARALLAFT_SCALE=0.1 \
 	  dune exec bin/experiments_main.exe -- -j 4 fig5
 
+# Tier-1 again with the segment-pipeline debug invariants on
+# (DESIGN.md §12): after every handled tracer event, state-machine
+# legality plus the cross-structure sweep (cur/live/roles/scheduler/
+# engine agreement). --force because the env var is invisible to dune's
+# dependency tracking.
+invariants: build
+	PARALLAFT_INVARIANTS=1 dune runtest --force
+
+# Byte-identity pin of the pipeline refactor: fixed-seed stats + Perfetto
+# traces of four scenarios (Parallaft/RAFT x recovery off/on) diffed
+# against the goldens committed under test/goldens/.
+golden-check: build
+	dune build @golden
+
 # The comparator fast paths end to end: runs both comparator fixtures
 # once and asserts the cold->warm accounting (identity skips happen,
 # page_hash_hits > 0, a warm compare hashes at most half the cold
@@ -41,7 +56,7 @@ parallel-smoke: build
 compare-smoke: build
 	PARALLAFT_QUICK=1 dune exec bench/main.exe -- --compare-smoke
 
-ci: build test fmt-check smoke parallel-smoke compare-smoke
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke
 
 clean:
 	dune clean

@@ -42,7 +42,7 @@ let fault_of_string s =
   | _ -> Error (`Msg ("bad fault plan " ^ s ^ " (want SEG,DELAY,REG,BIT)"))
 
 let run platform_name mode_name period scale workload input asm_file seed
-    show_output trace_file metrics_file fault =
+    show_output trace_file metrics_file fault recovery =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -142,7 +142,7 @@ let run platform_name mode_name period scale workload input asm_file seed
             | Mode_raft | Mode_baseline -> Parallaft.Config.raft ~platform ()
           in
           let config =
-            { config with Parallaft.Config.obs = sink; fault_plan = fault }
+            { config with Parallaft.Config.obs = sink; fault_plan = fault; recovery }
           in
           let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
           let dumped = dump_obs r.Parallaft.Runtime.obs in
@@ -217,12 +217,18 @@ let fault_arg =
                of segment $(i,SEG) after $(i,DELAY) instructions. Only valid \
                with --mode parallaft or raft.")
 
+let recovery_arg =
+  Arg.(value & flag & info [ "recovery" ]
+         ~doc:"Enable error recovery: on a detection, roll the main process \
+               back to the last verified checkpoint and re-execute instead of \
+               terminating the run.")
+
 let cmd =
   let term =
     Term.(
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
-      $ metrics_arg $ fault_arg)
+      $ metrics_arg $ fault_arg $ recovery_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

@@ -35,10 +35,16 @@ type t = {
   fault_plan : fault_plan option;
   recovery : bool;
   max_recoveries : int;
+  check_invariants : bool;
   obs : Obs.Sink.t option;
 }
 
 let default_slice_period (_ : Platform.t) = 250_000
+
+let invariants_from_env () =
+  match Sys.getenv_opt "PARALLAFT_INVARIANTS" with
+  | Some "" | Some "0" | None -> false
+  | Some _ -> true
 
 let backend_of_platform (p : Platform.t) =
   match p.Platform.dirty_tracking with
@@ -66,6 +72,7 @@ let parallaft ~platform ?slice_period () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    check_invariants = invariants_from_env ();
     obs = None;
   }
 
@@ -87,5 +94,6 @@ let raft ~platform () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    check_invariants = invariants_from_env ();
     obs = None;
   }

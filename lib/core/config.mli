@@ -66,6 +66,15 @@ type t = {
   max_recoveries : int;
       (** abort anyway after this many rollbacks (a persistent hard
           fault would otherwise loop forever) *)
+  check_invariants : bool;
+      (** debug: after every handled tracer event, validate segment
+          state-machine legality and cross-structure consistency (roles,
+          live set, scheduler and engine must agree on live pids), and
+          retain per-segment transition histories for inspection
+          ({!Coordinator.segment_histories}). Defaults to the
+          [PARALLAFT_INVARIANTS] environment variable ([1]/non-empty,
+          with [0] meaning off); a violation raises
+          {!Segment.Invariant_violation}. *)
   obs : Obs.Sink.t option;
       (** observability sink (event trace + metrics). [None] (the
           default) makes every emit site in the engine, coordinator and

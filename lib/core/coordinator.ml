@@ -1,960 +1,64 @@
+(* Run-level wiring of the segment pipeline. The stages live in their
+   own modules — Recorder (main-process events), Replayer (checker
+   events), Recovery (rollback/abort) — over the shared Run_ctx state;
+   this module creates the run, routes tracer events by role, wires the
+   two callback seams that break the stage cycles, and re-exports the
+   public surface. *)
+
 module E = Sim_os.Engine
 
-type seg_state =
-  | Recording
-  | Checking
-  | Done
+type t = Run_ctx.t
 
-type segment = {
-  id : int;
-  checker : E.pid;
-  log : Rr_log.t;
-  mutable snapshot : E.pid option;
-  mutable end_point : Exec_point.t option;
-  mutable insn_delta : int;
-  mutable main_dirty : int array;
-  mutable replay : Exec_point.replay option;
-  mutable cursor : Rr_log.cursor option;
-  mutable pending_signals : (Exec_point.t * Sim_os.Sig_num.t) list;
-  mutable state : seg_state;
-  mutable launched : bool;  (* checker already scheduled (RAFT streaming) *)
-  mutable checker_waiting : bool;  (* checker stalled on a not-yet-recorded event *)
-  mutable launched_at_ns : int;  (* sim time the checker was handed to the scheduler *)
-}
+let stats (t : t) = t.Run_ctx.stats
+let main_pid (t : t) = t.Run_ctx.main
+let first_error (t : t) = t.Run_ctx.first_error
+let aborted (t : t) = t.Run_ctx.aborted
 
-type role =
-  | Main_role
-  | Checker_role of segment
-
-type t = {
-  eng : E.t;
-  cfg : Config.t;
-  stats : Stats.t;
-  mutable sched : Scheduler.t option;
-  rng : Util.Rng.t;
-  mutable main : E.pid;
-  roles : (E.pid, role) Hashtbl.t;
-  mutable cur : segment option;
-  mutable live : segment list;
-  (* Per-frame page-digest memo shared by every segment comparison of the
-     run. Sound across rollbacks: frame ids are never reused and in-place
-     writes bump the generation, so stale entries can only miss. [None]
-     when the config disables the memo. *)
-  page_digests : Mem.Page_digest_cache.t option;
-  mutable next_id : int;
-  mutable seg_start_branches : int;
-  mutable seg_start_insns : int;
-  mutable main_exited : bool;
-  mutable pending_boundary : bool;
-  mutable first_error : (int * Detection.outcome) option;
-  mutable aborted : bool;
-  (* Recovery extension: the last checkpoint known good (every segment up
-     to and including it verified), plus verified-but-not-yet-contiguous
-     snapshots awaiting prefix promotion. *)
-  mutable recovery_point : (int * E.pid) option;
-  verified_snapshots : (int, E.pid) Hashtbl.t;
-  mutable verified_prefix : int;  (* all segment ids <= this verified *)
-}
-
-let stats t = t.stats
-let main_pid t = t.main
-let first_error t = t.first_error
-let aborted t = t.aborted
-
-let live_pids t =
+let live_pids (t : t) =
   let checkers =
     List.filter_map
       (fun seg ->
-        match seg.state with
-        | Checking | Recording -> Some seg.checker
-        | Done -> None)
-      (t.live @ match t.cur with Some s -> [ s ] | None -> [])
+        if Segment.is_done seg then None else Some (Segment.checker seg))
+      (t.Run_ctx.live @ match t.Run_ctx.cur with Some s -> [ s ] | None -> [])
   in
-  t.main :: checkers
+  t.Run_ctx.main :: checkers
 
-let sched t = Option.get t.sched
+let segment_histories (t : t) =
+  List.rev_map
+    (fun seg -> (Segment.id seg, Segment.history seg))
+    t.Run_ctx.all_segments
 
-let plat t = E.platform t.eng
-
-(* ------------------------------------------------------------------ *)
-(* Observability: every emit compiles to a single option check when no
-   sink is configured. Timestamps are simulated time, never wall clock. *)
-
-let emit_ev t ~track ~phase ?args name =
-  match t.cfg.Config.obs with
-  | None -> ()
-  | Some s -> Obs.Sink.emit s ~ts_ns:(E.time_ns t.eng) ~track ~phase ?args name
-
-let observe t name v =
-  match t.cfg.Config.obs with
-  | None -> ()
-  | Some s -> Obs.Sink.observe s name v
-
-let main_track t = Obs.Trace.Core t.cfg.Config.main_core
-
-let big_eff_hz t =
-  let big = Platform.big_cluster (plat t) in
-  Platform.effective_hz big ~level:big.Platform.default_level
-
-let cycles_to_ns t cycles = float_of_int cycles *. 1e9 /. big_eff_hz t
-
-let charge_scan t pid ~pages =
-  let cycles = pages * (plat t).Platform.dirty_scan_per_page_cycles in
-  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
-
-let charge_hash t pid ~bytes =
-  let cycles = bytes / max 1 (plat t).Platform.hash_bytes_per_cycle in
-  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
-
-let charge_record t pid ~bytes =
-  let ns = float_of_int bytes *. (plat t).Platform.syscall_record_ns_per_byte in
-  if ns > 0.0 then E.delay t.eng pid ~ns
-
-let main_cpu t = E.cpu t.eng t.main
-
-let page_table_of t pid = Mem.Address_space.page_table (E.aspace t.eng pid)
-
-let exec_point_now t =
-  {
-    Exec_point.branches = Machine.Cpu.branches (main_cpu t) - t.seg_start_branches;
-    pc = Machine.Cpu.get_pc (main_cpu t);
-  }
-
-let arm_slice t =
-  match t.cfg.Config.mode with
-  | Config.Raft -> ()
-  | Config.Parallaft -> (
-    let cpu = main_cpu t in
-    match (plat t).Platform.slice_unit with
-    | Platform.Cycles ->
-      Machine.Cpu.arm_cycle_overflow cpu
-        ~target:(Machine.Cpu.cycles cpu + t.cfg.Config.slice_period)
-    | Platform.Instructions ->
-      Machine.Cpu.arm_insn_overflow cpu
-        ~target:(Machine.Cpu.instructions cpu + t.cfg.Config.slice_period))
-
-(* Segments torn down by rollback/abort never reach finish_checker, so
-   without help their Begin spans would dangle in the trace (Perfetto
-   renders them as running forever) and their checker latency would go
-   unrecorded. Close the checker's "check" span -- and, for the
-   in-flight segment, the main-track "segment" span -- explicitly. *)
-let close_torn_down_check t seg =
-  if seg.launched && seg.state <> Done then begin
-    emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.End
-      ~args:
-        [ ("seg", Obs.Trace.Int seg.id); ("outcome", Obs.Trace.Str "torn-down") ]
-      "check";
-    observe t "checker.latency_ns"
-      (float_of_int (E.time_ns t.eng - seg.launched_at_ns))
-  end
-
-let close_torn_down_cur t =
-  match t.cur with
-  | None -> ()
-  | Some seg ->
-    close_torn_down_check t seg;
-    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
-      ~args:
-        [ ("seg", Obs.Trace.Int seg.id); ("outcome", Obs.Trace.Str "torn-down") ]
-      "segment"
-
-(* Kill every process we own; ends the simulation. *)
-let abort_run t =
-  t.aborted <- true;
-  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
-  List.iter (close_torn_down_check t) t.live;
-  close_torn_down_cur t;
-  List.iter
-    (fun seg ->
-      (match E.state t.eng seg.checker with
-      | E.Exited _ -> ()
-      | E.Runnable | E.Stopped -> E.kill t.eng seg.checker);
-      match seg.snapshot with
-      | Some snap -> (
-        match E.state t.eng snap with
-        | E.Exited _ -> ()
-        | E.Runnable | E.Stopped -> E.kill t.eng snap)
-      | None -> ())
-    t.live;
-  (match t.cur with
-  | Some seg -> (
-    match E.state t.eng seg.checker with
-    | E.Exited _ -> ()
-    | E.Runnable | E.Stopped -> E.kill t.eng seg.checker)
+let handle_event (t : t) pid ev =
+  (match Hashtbl.find_opt t.Run_ctx.roles pid with
+  | Some Run_ctx.Main_role -> Recorder.handle_main_event t ev
+  | Some (Run_ctx.Checker_role seg) -> Replayer.handle_checker_event t seg ev
   | None -> ());
-  match E.state t.eng t.main with
-  | E.Exited _ -> ()
-  | E.Runnable | E.Stopped -> E.kill t.eng t.main
-
-(* ------------------------------------------------------------------ *)
-(* Segment lifecycle                                                    *)
-
-let start_segment t =
-  let checker = E.fork_process t.eng t.main in
-  Dirty_tracker.clear t.cfg.Config.dirty_backend (page_table_of t checker);
-  let seg =
-    {
-      id = t.next_id;
-      checker;
-      log = Rr_log.create ();
-      snapshot = None;
-      end_point = None;
-      insn_delta = 0;
-      main_dirty = [||];
-      replay = None;
-      cursor = None;
-      pending_signals = [];
-      state = Recording;
-      launched = false;
-      checker_waiting = false;
-      launched_at_ns = 0;
-    }
-  in
-  t.next_id <- t.next_id + 1;
-  Hashtbl.replace t.roles checker (Checker_role seg);
-  t.cur <- Some seg;
-  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Begin
-    ~args:[ ("seg", Obs.Trace.Int seg.id); ("checker", Obs.Trace.Int checker) ]
-    "segment";
-  (* RAFT runs its (single) checker concurrently with the main process,
-     streaming the R/R log; the checker blocks whenever it reaches an
-     event that has not been recorded yet. Parallaft instead launches
-     each checker once its segment is fully recorded (figure 1(b)). *)
-  (match t.cfg.Config.mode with
-  | Config.Raft ->
-    seg.cursor <- Some (Rr_log.cursor seg.log);
-    seg.launched <- true;
-    seg.launched_at_ns <- E.time_ns t.eng;
-    emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
-      ~args:[ ("seg", Obs.Trace.Int seg.id) ]
-      "check";
-    Scheduler.enqueue (sched t) checker
-  | Config.Parallaft -> ());
-  let cpu = main_cpu t in
-  t.seg_start_branches <- Machine.Cpu.branches cpu;
-  t.seg_start_insns <- Machine.Cpu.instructions cpu;
-  if t.cfg.Config.compare_states then begin
-    let pt = page_table_of t t.main in
-    Dirty_tracker.clear t.cfg.Config.dirty_backend pt;
-    charge_scan t t.main ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt)
-  end;
-  t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
-  arm_slice t
-
-let launch_checker t seg =
-  let cpu = E.cpu t.eng seg.checker in
-  let end_point = Option.get seg.end_point in
-  let signal_points = Rr_log.signal_points seg.log in
-  (* In RAFT streaming mode the checker may have executed past some
-     signal points already; only the remaining ones become targets. *)
-  let remaining_signals =
-    List.filter
-      (fun (at, _) -> at.Exec_point.branches >= Machine.Cpu.branches cpu)
-      signal_points
-  in
-  seg.pending_signals <- remaining_signals;
-  let targets = List.map fst remaining_signals @ [ end_point ] in
-  seg.replay <- Some (Exec_point.start_replay ~targets ~cpu);
-  if seg.cursor = None then seg.cursor <- Some (Rr_log.cursor seg.log);
-  let timeout =
-    max 1000
-      (int_of_float (t.cfg.Config.timeout_scale *. float_of_int seg.insn_delta))
-  in
-  Machine.Cpu.arm_insn_overflow cpu ~target:timeout;
-  (match t.cfg.Config.fault_plan with
-  | Some { Config.segment; delay_instructions; reg; bit } when segment = seg.id ->
-    Machine.Cpu.arm_fault_injection cpu ~after_instructions:delay_instructions ~reg
-      ~bit
-  | Some _ | None -> ());
-  seg.state <- Checking;
-  t.stats.Stats.segment_insn_deltas <-
-    seg.insn_delta :: t.stats.Stats.segment_insn_deltas;
-  observe t "segment.insns" (float_of_int seg.insn_delta);
-  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
-    ~args:
-      [
-        ("seg", Obs.Trace.Int seg.id);
-        ("targets", Obs.Trace.Int (List.length targets));
-        ("insns", Obs.Trace.Int seg.insn_delta);
-      ]
-    "replay.start";
-  if not seg.launched then begin
-    seg.launched <- true;
-    seg.launched_at_ns <- E.time_ns t.eng;
-    emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Begin
-      ~args:[ ("seg", Obs.Trace.Int seg.id) ]
-      "check";
-    Scheduler.enqueue (sched t) seg.checker
-  end
-  else if seg.checker_waiting then begin
-    (* The streaming checker is stalled at its next interaction. Resuming
-       re-raises the stop: if it is resting on the segment-end pc the
-       freshly armed breakpoint fires first and completes the segment;
-       otherwise the syscall retries against the now-complete log. *)
-    seg.checker_waiting <- false;
-    E.resume t.eng seg.checker
-  end
-
-let end_segment t =
-  match t.cur with
-  | None -> ()
-  | Some seg ->
-    seg.end_point <- Some (exec_point_now t);
-    seg.insn_delta <- Machine.Cpu.instructions (main_cpu t) - t.seg_start_insns;
-    if t.cfg.Config.compare_states then begin
-      let pt = page_table_of t t.main in
-      seg.main_dirty <- Dirty_tracker.collect t.cfg.Config.dirty_backend pt;
-      t.stats.Stats.dirty_pages_total <-
-        t.stats.Stats.dirty_pages_total + Array.length seg.main_dirty;
-      observe t "segment.dirty_pages" (float_of_int (Array.length seg.main_dirty));
-      charge_scan t t.main
-        ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt);
-      let snapshot = E.fork_process t.eng t.main in
-      seg.snapshot <- Some snapshot;
-      t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1
-    end;
-    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
-      ~args:
-        [
-          ("seg", Obs.Trace.Int seg.id);
-          ("insns", Obs.Trace.Int seg.insn_delta);
-          ("dirty_pages", Obs.Trace.Int (Array.length seg.main_dirty));
-        ]
-      "segment";
-    t.cur <- None;
-    t.live <- t.live @ [ seg ];
-    t.stats.Stats.segments_total <- t.stats.Stats.segments_total + 1;
-    launch_checker t seg
-
-let live_count t = List.length t.live
-
-let on_main_exited t =
-  t.main_exited <- true;
-  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
-    ~args:[ ("live_segments", Obs.Trace.Int (List.length t.live)) ]
-    "main.exit";
-  let st = E.proc_stats t.eng t.main in
-  t.stats.Stats.main_wall_ns <-
-    float_of_int (st.E.ended_ns - st.E.started_ns);
-  t.stats.Stats.main_user_ns <- st.E.user_ns;
-  t.stats.Stats.main_sys_ns <- st.E.sys_ns;
-  Scheduler.on_main_exit (sched t)
-
-let do_boundary t =
-  end_segment t;
-  if not t.main_exited then begin
-    start_segment t;
-    E.resume t.eng t.main
-  end
-
-let boundary t =
-  if live_count t >= t.cfg.Config.max_live_segments then begin
-    t.pending_boundary <- true;
-    emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
-      ~args:[ ("live_segments", Obs.Trace.Int (live_count t)) ]
-      "main.held";
-    Scheduler.set_main_held (sched t) true
-    (* main stays stopped until a segment completes *)
-  end
-  else do_boundary t
-
-(* ------------------------------------------------------------------ *)
-(* Main-process events                                                  *)
-
-let current_log t =
-  match t.cur with
-  | Some seg -> seg.log
-  | None -> (* Should not happen: main always runs inside a segment. *)
-    Rr_log.create ()
-
-(* RAFT streaming mode: a checker stalled on a missing record can retry
-   now that the main has appended one. *)
-let wake_waiting_checker t =
-  match t.cur with
-  | Some seg when seg.checker_waiting -> (
-    seg.checker_waiting <- false;
-    match E.state t.eng seg.checker with
-    | E.Stopped -> E.resume t.eng seg.checker
-    | E.Runnable | E.Exited _ -> ())
-  | Some _ | None -> ()
-
-let read_mem_opt t pid ~addr ~len =
-  try Some (Mem.Address_space.read_bytes (E.aspace t.eng pid) ~addr ~len)
-  with Mem.Address_space.Segfault _ -> None
-
-let record_and_pass t call =
-  let in_data =
-    match (call : Sim_os.Syscall.call) with
-    | Sim_os.Syscall.Write { addr; len; _ } -> read_mem_opt t t.main ~addr ~len
-    | Sim_os.Syscall.Open { path_addr; path_len; _ } ->
-      read_mem_opt t t.main ~addr:path_addr ~len:path_len
-    | _ -> None
-  in
-  E.do_syscall t.eng t.main;
-  let result = Machine.Cpu.get_reg (main_cpu t) 0 in
-  let effects =
-    match (call : Sim_os.Syscall.call) with
-    | Sim_os.Syscall.Read { addr; _ } when result > 0 -> (
-      match read_mem_opt t t.main ~addr ~len:result with
-      | Some data -> [ { Rr_log.addr; data } ]
-      | None -> [])
-    | Sim_os.Syscall.Getrandom { addr; _ } when result > 0 -> (
-      match read_mem_opt t t.main ~addr ~len:result with
-      | Some data -> [ { Rr_log.addr; data } ]
-      | None -> [])
-    | _ -> []
-  in
-  let bytes =
-    (match in_data with Some b -> Bytes.length b | None -> 0)
-    + List.fold_left (fun acc { Rr_log.data; _ } -> acc + Bytes.length data) 0 effects
-  in
-  charge_record t t.main ~bytes;
-  Rr_log.record (current_log t) (Rr_log.Sys { call; in_data; result; effects });
-  t.stats.Stats.syscalls_recorded <- t.stats.Stats.syscalls_recorded + 1;
-  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
-    ~args:
-      [
-        ("call", Obs.Trace.Str (Sim_os.Syscall.name call));
-        ("bytes", Obs.Trace.Int bytes);
-      ]
-    "sys.record";
-  observe t "record.bytes" (float_of_int bytes);
-  wake_waiting_checker t;
-  E.resume t.eng t.main
-
-(* File-backed private mmap: slice around the call so the mapping is
-   established outside any segment and inherited by the next checker's
-   fork (§4.3.2). *)
-let mmap_split t =
-  end_segment t;
-  E.do_syscall t.eng t.main;
-  start_segment t;
-  E.resume t.eng t.main
-
-let emulate_nondet t pid insn =
-  let value =
-    match (insn : Isa.Insn.t) with
-    | Isa.Insn.Rdtsc _ -> E.now_ns t.eng
-    | Isa.Insn.Rdcoreid _ -> E.core_of t.eng pid
-    | Isa.Insn.Rdrand _ -> Util.Rng.bits64 t.rng
-    | _ -> 0
-  in
-  let reg =
-    match Isa.Insn.writes_reg insn with
-    | Some r -> r
-    | None -> 0
-  in
-  let cpu = E.cpu t.eng pid in
-  Machine.Cpu.set_reg cpu reg value;
-  Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
-  value
-
-let handle_main_event t ev =
-  match (ev : E.event) with
-  | E.Syscall_entry call -> (
-    match call with
-    | Sim_os.Syscall.Exit _ ->
-      end_segment t;
-      E.do_syscall t.eng t.main;
-      on_main_exited t
-    | Sim_os.Syscall.Mmap { flags; fd; _ }
-      when flags land Sim_os.Syscall.map_anon = 0 && fd >= 0 ->
-      mmap_split t
-    | _ -> record_and_pass t call)
-  | E.Nondet insn ->
-    let value = emulate_nondet t t.main insn in
-    Rr_log.record (current_log t) (Rr_log.Nondet { insn; value });
-    t.stats.Stats.nondet_recorded <- t.stats.Stats.nondet_recorded + 1;
-    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant "nondet.record";
-    wake_waiting_checker t;
-    E.resume t.eng t.main
-  | E.Cycle_overflow | E.Insn_overflow ->
-    t.stats.Stats.nr_slices <- t.stats.Stats.nr_slices + 1;
-    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
-      ~args:[ ("nr", Obs.Trace.Int t.stats.Stats.nr_slices) ]
-      "slice";
-    boundary t
-  | E.Signal signum -> (
-    Rr_log.record (current_log t)
-      (Rr_log.Ext_signal { at = exec_point_now t; signum });
-    t.stats.Stats.signals_recorded <- t.stats.Stats.signals_recorded + 1;
-    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
-      ~args:[ ("signum", Obs.Trace.Int signum) ]
-      "signal.record";
-    E.deliver_signal_now t.eng t.main signum;
-    match E.state t.eng t.main with
-    | E.Exited _ ->
-      (* Signal-terminated: nothing left to protect. *)
-      abort_run t
-    | E.Runnable | E.Stopped -> E.resume t.eng t.main)
-  | E.Halted ->
-    end_segment t;
-    E.force_exit t.eng t.main ~status:0;
-    on_main_exited t
-  | E.Fault _ ->
-    (* An application bug in the main process: outside the threat model;
-       terminate the protected run. *)
-    abort_run t
-  | E.Breakpoint | E.Branch_overflow ->
-    (* Never armed on the main process. *)
-    E.resume t.eng t.main
-
-(* ------------------------------------------------------------------ *)
-(* Checker events                                                       *)
-
-let record_error t seg outcome =
-  Stats.record_detection t.stats ~segment:seg.id outcome;
-  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
-    ~args:
-      [
-        ("seg", Obs.Trace.Int seg.id);
-        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
-      ]
-    "detection";
-  (match t.cfg.Config.obs with
-  | None -> ()
-  | Some s -> Obs.Sink.incr s "detections");
-  if t.first_error = None then t.first_error <- Some (seg.id, outcome)
-
-let kill_if_alive t pid =
-  match E.state t.eng pid with
-  | E.Exited _ -> ()
-  | E.Runnable | E.Stopped -> E.kill t.eng pid
-
-(* Recovery-point bookkeeping: a snapshot becomes the recovery point once
-   every segment up to it has verified; older points are freed. *)
-let note_verified t seg =
-  match seg.snapshot with
-  | None -> ()
-  | Some snap ->
-    Hashtbl.replace t.verified_snapshots seg.id snap;
-    let continue_promoting = ref true in
-    while !continue_promoting do
-      match Hashtbl.find_opt t.verified_snapshots (t.verified_prefix + 1) with
-      | Some snap' ->
-        t.verified_prefix <- t.verified_prefix + 1;
-        Hashtbl.remove t.verified_snapshots (t.verified_prefix);
-        (match t.recovery_point with
-        | Some (_, old) -> kill_if_alive t old
-        | None -> ());
-        t.recovery_point <- Some (t.verified_prefix, snap')
-      | None -> continue_promoting := false
-    done
-
-(* Roll the whole run back to the recovery point: the paper's Table 2
-   "error recovery" future-work row. Externally visible syscalls since
-   that checkpoint are re-executed (the §3.4 buffered-IO assumption). *)
-let recover t =
-  t.stats.Stats.recoveries <- t.stats.Stats.recoveries + 1;
-  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
-    ~args:
-      [
-        ("nr", Obs.Trace.Int t.stats.Stats.recoveries);
-        ("verified_prefix", Obs.Trace.Int t.verified_prefix);
-      ]
-    "recovery";
-  List.iter (close_torn_down_check t) t.live;
-  close_torn_down_cur t;
-  (* Tear down everything derived from the (possibly corrupt) state. *)
-  List.iter
-    (fun seg ->
-      kill_if_alive t seg.checker;
-      match seg.snapshot with Some s -> kill_if_alive t s | None -> ())
-    t.live;
-  (match t.cur with Some seg -> kill_if_alive t seg.checker | None -> ());
-  Hashtbl.iter (fun _ snap -> kill_if_alive t snap) t.verified_snapshots;
-  Hashtbl.reset t.verified_snapshots;
-  kill_if_alive t t.main;
-  t.live <- [];
-  t.cur <- None;
-  t.pending_boundary <- false;
-  t.main_exited <- false;
-  match t.recovery_point with
-  | None ->
-    (* No verified state to return to: give up. *)
-    abort_run t
-  | Some (_, snap) ->
-    t.recovery_point <- None;
-    (* Re-anchor the verified prefix at the ids the post-rollback
-       segments will get, so promotion resumes seamlessly. *)
-    t.verified_prefix <- t.next_id - 1;
-    Hashtbl.replace t.roles snap Main_role;
-    t.main <- snap;
-    E.set_core t.eng snap ~core:t.cfg.Config.main_core;
-    (* A fresh scheduler: the old one's bookkeeping refers to dead pids. *)
-    t.sched <- Some (Scheduler.create t.eng t.cfg t.stats);
-    start_segment t;
-    E.resume t.eng snap
-
-let finish_checker t seg outcome_opt =
-  seg.state <- Done;
-  let cpu = E.cpu t.eng seg.checker in
-  Machine.Cpu.disarm_insn_overflow cpu;
-  Machine.Cpu.disarm_branch_overflow cpu;
-  Machine.Cpu.clear_all_breakpoints cpu;
-  (* Fault-injection classification for this run. *)
-  (match t.cfg.Config.fault_plan with
-  | Some { Config.segment; _ } when segment = seg.id ->
-    t.stats.Stats.fi_fired <- Machine.Cpu.fault_injected cpu;
-    t.stats.Stats.fi_outcome <-
-      (match outcome_opt with
-      | Some o -> Some o
-      | None -> if t.stats.Stats.fi_fired then Some Detection.Benign else None)
-  | Some _ | None -> ());
-  (match outcome_opt with
-  | Some o -> record_error t seg o
-  | None -> ());
-  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.End
-    ~args:
-      [
-        ("seg", Obs.Trace.Int seg.id);
-        ( "outcome",
-          Obs.Trace.Str
-            (match outcome_opt with
-            | Some o -> Detection.outcome_to_string o
-            | None -> "ok") );
-      ]
-    "check";
-  observe t "checker.latency_ns"
-    (float_of_int (E.time_ns t.eng - seg.launched_at_ns));
-  kill_if_alive t seg.checker;
-  let failed = outcome_opt <> None in
-  (if t.cfg.Config.recovery && not failed then note_verified t seg
-   else
-     match seg.snapshot with
-     | Some snap -> kill_if_alive t snap
-     | None -> ());
-  t.live <- List.filter (fun s -> s.id <> seg.id) t.live;
-  Scheduler.finished (sched t) seg.checker;
-  if failed then begin
-    if
-      t.cfg.Config.recovery
-      && t.stats.Stats.recoveries < t.cfg.Config.max_recoveries
-    then recover t
-    else abort_run t
-  end
-  else if t.pending_boundary && live_count t < t.cfg.Config.max_live_segments
-  then begin
-    t.pending_boundary <- false;
-    Scheduler.set_main_held (sched t) false;
-    do_boundary t
-  end
-
-let reached_end t seg =
-  let cpu = E.cpu t.eng seg.checker in
-  Machine.Cpu.disarm_insn_overflow cpu;
-  let leftover =
-    match seg.cursor with
-    | Some c -> Rr_log.remaining_interactions c
-    | None -> 0
-  in
-  if leftover > 0 then
-    finish_checker t seg
-      (Some
-         (Detection.Detected
-            (Detection.Syscall_mismatch
-               { expected = "further recorded interactions"; got = "segment end" })))
-  else if t.cfg.Config.compare_states then begin
-    match seg.snapshot with
-    | None -> finish_checker t seg None
-    | Some snap ->
-      let checker_dirty =
-        Dirty_tracker.collect t.cfg.Config.dirty_backend (page_table_of t seg.checker)
-      in
-      let union = Comparator.union_sorted seg.main_dirty checker_dirty in
-      let verdict, cs =
-        Comparator.compare_states ~hasher:t.cfg.Config.hasher
-          ?cache:t.page_digests ~reference:(E.cpu t.eng snap) ~candidate:cpu
-          ~dirty_vpns:union ()
-      in
-      let bytes = cs.Comparator.bytes_hashed in
-      charge_hash t seg.checker ~bytes;
-      t.stats.Stats.bytes_hashed <- t.stats.Stats.bytes_hashed + bytes;
-      t.stats.Stats.pages_skipped_identical <-
-        t.stats.Stats.pages_skipped_identical + cs.Comparator.pages_skipped_identical;
-      t.stats.Stats.page_hash_hits <-
-        t.stats.Stats.page_hash_hits + cs.Comparator.page_hash_hits;
-      t.stats.Stats.page_hash_misses <-
-        t.stats.Stats.page_hash_misses + cs.Comparator.page_hash_misses;
-      t.stats.Stats.segments_compared <- t.stats.Stats.segments_compared + 1;
-      emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
-        ~args:
-          [
-            ("seg", Obs.Trace.Int seg.id);
-            ("bytes", Obs.Trace.Int bytes);
-            ( "skipped_identical",
-              Obs.Trace.Int cs.Comparator.pages_skipped_identical );
-            ("hash_hits", Obs.Trace.Int cs.Comparator.page_hash_hits);
-            ("hash_misses", Obs.Trace.Int cs.Comparator.page_hash_misses);
-            ( "verdict",
-              Obs.Trace.Str
-                (match verdict with
-                | Comparator.Match -> "match"
-                | Comparator.Mismatch _ -> "mismatch") );
-          ]
-        "compare";
-      observe t "compare.bytes" (float_of_int bytes);
-      observe t "compare.pages_skipped"
-        (float_of_int cs.Comparator.pages_skipped_identical);
-      (match t.cfg.Config.obs with
-      | None -> ()
-      | Some s ->
-        Obs.Sink.add s "compare.page_hash_hits" cs.Comparator.page_hash_hits;
-        Obs.Sink.add s "compare.page_hash_misses" cs.Comparator.page_hash_misses);
-      finish_checker t seg
-        (match verdict with
-        | Comparator.Match -> None
-        | Comparator.Mismatch m -> Some (Detection.Detected m))
-  end
-  else finish_checker t seg None
-
-let rec advance t seg adv =
-  match (adv : Exec_point.advance) with
-  | Exec_point.Keep_running -> E.resume t.eng seg.checker
-  | Exec_point.Reached pt -> (
-    match seg.pending_signals with
-    | (spt, signum) :: rest when Exec_point.compare spt pt = 0 ->
-      seg.pending_signals <- rest;
-      E.deliver_signal_now t.eng seg.checker signum;
-      (match E.state t.eng seg.checker with
-      | E.Exited _ ->
-        (* The signal's default action killed the checker — the main
-           survived it, so this is a divergence. *)
-        finish_checker t seg
-          (Some (Detection.Exception_detected "killed by replayed signal"))
-      | E.Runnable | E.Stopped ->
-        let replay = Option.get seg.replay in
-        Exec_point.next_target replay;
-        advance t seg (Exec_point.poll replay))
-    | _ -> reached_end t seg)
-
-let fail_checker t seg mismatch =
-  finish_checker t seg (Some (Detection.Detected mismatch))
-
-let apply_effects t pid effects =
-  List.iter
-    (fun { Rr_log.addr; data } ->
-      ignore (Mem.Address_space.write_bytes (E.aspace t.eng pid) ~addr data))
-    effects
-
-let replay_process_local t seg (rec_ : Rr_log.sys_record) call =
-  let cpu = E.cpu t.eng seg.checker in
-  let restore_args =
-    match (call : Sim_os.Syscall.call) with
-    | Sim_os.Syscall.Mmap { addr; flags; _ }
-      when flags land Sim_os.Syscall.map_anon <> 0 ->
-      (* Defeat ASLR divergence: pin the checker's mapping to the address
-         the kernel gave the main process (§4.3.2). The original argument
-         registers are restored afterwards so the rewrite is invisible to
-         the program-state comparison. *)
-      Machine.Cpu.set_reg cpu 1 rec_.result;
-      Machine.Cpu.set_reg cpu 4 (flags lor Sim_os.Syscall.map_fixed);
-      Some (addr, flags)
-    | _ -> None
-  in
-  E.do_syscall t.eng seg.checker;
-  (match restore_args with
-  | Some (addr, flags) ->
-    Machine.Cpu.set_reg cpu 1 addr;
-    Machine.Cpu.set_reg cpu 4 flags
-  | None -> ());
-  let verify_result =
-    match (call : Sim_os.Syscall.call) with
-    | Sim_os.Syscall.Sigreturn -> false
-    | _ -> true
-  in
-  if verify_result && Machine.Cpu.get_reg cpu 0 <> rec_.result then
-    fail_checker t seg
-      (Detection.Syscall_mismatch
-         {
-           expected = Printf.sprintf "%s = %d" (Sim_os.Syscall.name call) rec_.result;
-           got =
-             Printf.sprintf "%s = %d" (Sim_os.Syscall.name call)
-               (Machine.Cpu.get_reg cpu 0);
-         })
-  else E.resume t.eng seg.checker
-
-let checker_syscall t seg call =
-  emit_ev t ~track:(Obs.Trace.Proc seg.checker) ~phase:Obs.Trace.Instant
-    ~args:[ ("call", Obs.Trace.Str (Sim_os.Syscall.name call)) ]
-    "sys.replay";
-  match seg.cursor with
-  | None ->
-    fail_checker t seg
-      (Detection.Extra_interaction { got = Sim_os.Syscall.name call })
-  | Some cursor -> (
-    match Rr_log.next_interaction cursor with
-    | None when seg.state = Recording ->
-      (* Streaming replay caught up with the recorder: wait. *)
-      seg.checker_waiting <- true
-    | None ->
-      fail_checker t seg
-        (Detection.Extra_interaction { got = Sim_os.Syscall.name call })
-    | Some (Rr_log.Nondet _) ->
-      fail_checker t seg
-        (Detection.Syscall_mismatch
-           {
-             expected = "nondeterministic instruction";
-             got = Sim_os.Syscall.name call;
-           })
-    | Some (Rr_log.Ext_signal _) ->
-      (* next_interaction never yields signals *)
-      assert false
-    | Some (Rr_log.Sys rec_) ->
-      if rec_.call <> call then
-        fail_checker t seg
-          (Detection.Syscall_mismatch
-             {
-               expected = Sim_os.Syscall.name rec_.call;
-               got = Sim_os.Syscall.name call;
-             })
-      else begin
-        (* Check argument data (e.g. write payloads) against the record. *)
-        let data_matches =
-          match rec_.in_data with
-          | None -> true
-          | Some expected -> (
-            let got =
-              match (call : Sim_os.Syscall.call) with
-              | Sim_os.Syscall.Write { addr; len; _ } ->
-                read_mem_opt t seg.checker ~addr ~len
-              | Sim_os.Syscall.Open { path_addr; path_len; _ } ->
-                read_mem_opt t seg.checker ~addr:path_addr ~len:path_len
-              | _ -> None
-            in
-            match got with
-            | Some b -> Bytes.equal b expected
-            | None -> false)
-        in
-        if not data_matches then
-          fail_checker t seg
-            (Detection.Syscall_data_mismatch { syscall = Sim_os.Syscall.name call })
-        else
-          match Sim_os.Syscall.categorize call with
-          | Sim_os.Syscall.Process_local -> replay_process_local t seg rec_ call
-          | Sim_os.Syscall.Globally_effectful | Sim_os.Syscall.Non_effectful ->
-            (* Never re-executed: answer from the record so external
-               effects happen exactly once. *)
-            E.complete_syscall t.eng seg.checker ~result:rec_.result;
-            apply_effects t seg.checker rec_.effects;
-            let bytes =
-              List.fold_left
-                (fun acc { Rr_log.data; _ } -> acc + Bytes.length data)
-                0 rec_.effects
-            in
-            charge_record t seg.checker ~bytes;
-            E.resume t.eng seg.checker
-      end)
-
-let checker_nondet t seg insn =
-  match seg.cursor with
-  | None -> fail_checker t seg (Detection.Extra_interaction { got = "nondet" })
-  | Some cursor -> (
-    match Rr_log.next_interaction cursor with
-    | None when seg.state = Recording -> seg.checker_waiting <- true
-    | Some (Rr_log.Nondet { insn = recorded_insn; value }) when recorded_insn = insn
-      ->
-      let cpu = E.cpu t.eng seg.checker in
-      (match Isa.Insn.writes_reg insn with
-      | Some reg -> Machine.Cpu.set_reg cpu reg value
-      | None -> ());
-      Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
-      E.resume t.eng seg.checker
-    | Some (Rr_log.Sys r) ->
-      fail_checker t seg
-        (Detection.Syscall_mismatch
-           { expected = Sim_os.Syscall.name r.call; got = "nondet instruction" })
-    | Some (Rr_log.Nondet _) | Some (Rr_log.Ext_signal _) | None ->
-      fail_checker t seg (Detection.Extra_interaction { got = "nondet instruction" }))
-
-let fault_to_string (f : Machine.Cpu.fault) =
-  match f with
-  | Machine.Cpu.Segv { addr; write } ->
-    Printf.sprintf "SIGSEGV at %#x (%s)" addr (if write then "write" else "read")
-  | Machine.Cpu.Div_by_zero -> "SIGFPE (division by zero)"
-  | Machine.Cpu.Bad_pc pc -> Printf.sprintf "control flow left the code (pc=%d)" pc
-
-let handle_checker_event t seg ev =
-  match seg.state with
-  | Done -> () (* stale event after the segment completed *)
-  | Recording | Checking -> (
-    match (ev : E.event) with
-    | E.Syscall_entry call -> checker_syscall t seg call
-    | E.Nondet insn -> checker_nondet t seg insn
-    | E.Branch_overflow ->
-      advance t seg (Exec_point.on_branch_overflow (Option.get seg.replay))
-    | E.Breakpoint ->
-      advance t seg (Exec_point.on_breakpoint (Option.get seg.replay))
-    | E.Insn_overflow -> finish_checker t seg (Some Detection.Timeout_detected)
-    | E.Fault f ->
-      finish_checker t seg (Some (Detection.Exception_detected (fault_to_string f)))
-    | E.Halted ->
-      finish_checker t seg
-        (Some (Detection.Exception_detected "checker ran past the segment end"))
-    | E.Cycle_overflow -> E.resume t.eng seg.checker
-    | E.Signal _ ->
-      (* External signals target the main process; recorded there and
-         replayed by execution point, never delivered here directly. *)
-      E.resume t.eng seg.checker)
-
-let handle_event t pid ev =
-  match Hashtbl.find_opt t.roles pid with
-  | Some Main_role -> handle_main_event t ev
-  | Some (Checker_role seg) -> handle_checker_event t seg ev
-  | None -> ()
+  Run_ctx.check_invariants t
 
 let create eng cfg ~program =
-  let t =
-    {
-      eng;
-      cfg;
-      stats = Stats.create ();
-      sched = None;
-      rng = Util.Rng.create ~seed:0x5EEDL;
-      main = -1;
-      roles = Hashtbl.create 16;
-      cur = None;
-      live = [];
-      page_digests =
-        (if cfg.Config.compare_states && cfg.Config.page_hash_cache_pages > 0
-         then
-           Some
-             (Mem.Page_digest_cache.create
-                ~capacity:cfg.Config.page_hash_cache_pages)
-         else None);
-      next_id = 0;
-      seg_start_branches = 0;
-      seg_start_insns = 0;
-      main_exited = false;
-      pending_boundary = false;
-      first_error = None;
-      aborted = false;
-      recovery_point = None;
-      verified_snapshots = Hashtbl.create 8;
-      verified_prefix = -1;
-    }
-  in
+  let t = Run_ctx.create eng cfg in
+  t.Run_ctx.launch_checker <- Replayer.launch_checker t;
+  t.Run_ctx.abort_run <- (fun () -> Recovery.abort_run t);
   (match cfg.Config.obs with
   | Some sink -> E.set_obs eng sink
   | None -> ());
-  t.sched <- Some (Scheduler.create eng cfg t.stats);
   let tracer eng' pid ev =
     ignore eng';
     handle_event t pid ev
   in
   let main = E.spawn eng ~tracer ~program ~core:cfg.Config.main_core () in
-  t.main <- main;
-  Hashtbl.replace t.roles main Main_role;
+  t.Run_ctx.main <- main;
+  Hashtbl.replace t.Run_ctx.roles main Run_ctx.Main_role;
   E.suspend eng main;
   if cfg.Config.recovery then begin
     (* The initial state is trivially verified: retain it so a failure in
        the very first segment can still recover. *)
     let snap = E.fork_process eng main in
-    t.recovery_point <- Some (-1, snap);
-    t.verified_prefix <- -1
+    t.Run_ctx.recovery_point <- Some (-1, snap);
+    t.Run_ctx.verified_prefix <- -1
   end;
-  start_segment t;
+  Recorder.start_segment t;
   E.resume eng main;
   E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ ->
-      Scheduler.pacer_tick (sched t));
+      Scheduler.pacer_tick t.Run_ctx.sched);
   t

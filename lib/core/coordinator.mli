@@ -1,12 +1,14 @@
-(** The Parallaft coordinator (Figure 2).
+(** The Parallaft coordinator (Figure 2): run-level wiring of the
+    segment pipeline.
 
-    One coordinator protects one program run: it spawns the main process
-    under tracing, slices its execution into segments (program slicer),
-    records every application/OS interaction into per-segment R/R logs,
-    forks checkpoint and checker processes at segment boundaries,
-    replays checkers to the recorded execution points, drives the
-    program-state comparator, schedules and paces the checkers, and
-    classifies any divergence.
+    One coordinator protects one program run. The pipeline stages live
+    in their own modules — {!Recorder} slices the main process into
+    segments and records its interactions, {!Replayer} replays and
+    checks recorded segments, {!Recovery} rolls back or aborts — all
+    over the shared {!Run_ctx} state, with per-segment data typed by
+    {!Segment}'s state machine. This module creates the run, routes
+    tracer events by process role, and wires the callback seams between
+    the stages.
 
     The coordinator runs entirely inside tracer callbacks and pacer
     ticks; after {!create}, stepping the engine to completion
@@ -35,3 +37,9 @@ val live_pids : t -> Sim_os.Engine.pid list
 (** The main process plus all live checkers — the process set whose PSS
     the paper's memory measurement sums (checkpoint processes excluded:
     their private pages are swappable, §5.4). *)
+
+val segment_histories : t -> (int * Segment.phase list) list
+(** Per-segment phase histories (oldest segment first), retained only
+    when {!Config.t.check_invariants} is on — empty otherwise. Used by
+    the property tests to assert every segment walked a legal
+    [Recording -> Awaiting_launch -> Checking -> Done] path. *)

@@ -1,0 +1,261 @@
+(* The record stage: everything driven by main-process tracer events.
+   Slices the main into segments, records its application/OS
+   interactions into the current segment's R/R log, and hands each
+   finished segment to the replayer through the [launch_checker] seam. *)
+
+module E = Sim_os.Engine
+open Run_ctx
+
+let arm_slice t =
+  match t.cfg.Config.mode with
+  | Config.Raft -> ()
+  | Config.Parallaft -> (
+    let cpu = main_cpu t in
+    match (plat t).Platform.slice_unit with
+    | Platform.Cycles ->
+      Machine.Cpu.arm_cycle_overflow cpu
+        ~target:(Machine.Cpu.cycles cpu + t.cfg.Config.slice_period)
+    | Platform.Instructions ->
+      Machine.Cpu.arm_insn_overflow cpu
+        ~target:(Machine.Cpu.instructions cpu + t.cfg.Config.slice_period))
+
+let start_segment t =
+  let checker = E.fork_process t.eng t.main in
+  Dirty_tracker.clear t.cfg.Config.dirty_backend (page_table_of t checker);
+  let seg = Segment.create ~id:t.next_id ~checker in
+  t.next_id <- t.next_id + 1;
+  if t.cfg.Config.check_invariants then t.all_segments <- seg :: t.all_segments;
+  Hashtbl.replace t.roles checker (Checker_role seg);
+  t.cur <- Some seg;
+  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Begin
+    ~args:
+      [ ("seg", Obs.Trace.Int (Segment.id seg)); ("checker", Obs.Trace.Int checker) ]
+    "segment";
+  (* RAFT runs its (single) checker concurrently with the main process,
+     streaming the R/R log; the checker blocks whenever it reaches an
+     event that has not been recorded yet. Parallaft instead launches
+     each checker once its segment is fully recorded (figure 1(b)). *)
+  (match t.cfg.Config.mode with
+  | Config.Raft ->
+    Segment.start_streaming seg ~started_ns:(E.time_ns t.eng);
+    emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
+      ~args:[ ("seg", Obs.Trace.Int (Segment.id seg)) ]
+      "check";
+    Scheduler.enqueue t.sched checker
+  | Config.Parallaft -> ());
+  let cpu = main_cpu t in
+  t.seg_start_branches <- Machine.Cpu.branches cpu;
+  t.seg_start_insns <- Machine.Cpu.instructions cpu;
+  if t.cfg.Config.compare_states then begin
+    let pt = page_table_of t t.main in
+    Dirty_tracker.clear t.cfg.Config.dirty_backend pt;
+    charge_scan t t.main
+      ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt)
+  end;
+  t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
+  arm_slice t
+
+let end_segment t =
+  match t.cur with
+  | None -> ()
+  | Some seg ->
+    let end_point = exec_point_now t in
+    let insn_delta = Machine.Cpu.instructions (main_cpu t) - t.seg_start_insns in
+    let main_dirty, snapshot =
+      if t.cfg.Config.compare_states then begin
+        let pt = page_table_of t t.main in
+        let dirty = Dirty_tracker.collect t.cfg.Config.dirty_backend pt in
+        t.stats.Stats.dirty_pages_total <-
+          t.stats.Stats.dirty_pages_total + Array.length dirty;
+        observe t "segment.dirty_pages" (float_of_int (Array.length dirty));
+        charge_scan t t.main
+          ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt);
+        let snapshot = E.fork_process t.eng t.main in
+        t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
+        (dirty, Some snapshot)
+      end
+      else ([||], None)
+    in
+    Segment.finish_recording seg ~end_point ~insn_delta ~main_dirty ~snapshot;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
+      ~args:
+        [
+          ("seg", Obs.Trace.Int (Segment.id seg));
+          ("insns", Obs.Trace.Int insn_delta);
+          ("dirty_pages", Obs.Trace.Int (Array.length main_dirty));
+        ]
+      "segment";
+    t.cur <- None;
+    t.live <- t.live @ [ seg ];
+    t.stats.Stats.segments_total <- t.stats.Stats.segments_total + 1;
+    t.launch_checker seg
+
+let on_main_exited t =
+  t.main_exited <- true;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:[ ("live_segments", Obs.Trace.Int (List.length t.live)) ]
+    "main.exit";
+  let st = E.proc_stats t.eng t.main in
+  t.stats.Stats.main_wall_ns <- float_of_int (st.E.ended_ns - st.E.started_ns);
+  t.stats.Stats.main_user_ns <- st.E.user_ns;
+  t.stats.Stats.main_sys_ns <- st.E.sys_ns;
+  Scheduler.on_main_exit t.sched
+
+let do_boundary t =
+  end_segment t;
+  if not t.main_exited then begin
+    start_segment t;
+    E.resume t.eng t.main
+  end
+
+let boundary t =
+  if live_count t >= t.cfg.Config.max_live_segments then begin
+    t.pending_boundary <- true;
+    emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+      ~args:[ ("live_segments", Obs.Trace.Int (live_count t)) ]
+      "main.held";
+    Scheduler.set_main_held t.sched true
+    (* main stays stopped until a segment completes *)
+  end
+  else do_boundary t
+
+(* ------------------------------------------------------------------ *)
+(* Main-process events                                                  *)
+
+let current_log t =
+  match t.cur with
+  | Some seg -> Segment.log seg
+  | None ->
+    (* Main always runs inside a segment; recording into a throwaway log
+       here would silently drop interactions from the replay stream. *)
+    raise
+      (Segment.Invariant_violation
+         "recorder: main interaction arrived outside any segment")
+
+(* RAFT streaming mode: a checker stalled on a missing record can retry
+   now that the main has appended one. *)
+let wake_waiting_checker t =
+  match t.cur with
+  | Some seg when Segment.waiting seg -> (
+    Segment.set_waiting seg false;
+    match E.state t.eng (Segment.checker seg) with
+    | E.Stopped -> E.resume t.eng (Segment.checker seg)
+    | E.Runnable | E.Exited _ -> ())
+  | Some _ | None -> ()
+
+let record_and_pass t call =
+  let in_data =
+    match (call : Sim_os.Syscall.call) with
+    | Sim_os.Syscall.Write { addr; len; _ } -> read_mem_opt t t.main ~addr ~len
+    | Sim_os.Syscall.Open { path_addr; path_len; _ } ->
+      read_mem_opt t t.main ~addr:path_addr ~len:path_len
+    | _ -> None
+  in
+  E.do_syscall t.eng t.main;
+  let result = Machine.Cpu.get_reg (main_cpu t) 0 in
+  let effects =
+    match (call : Sim_os.Syscall.call) with
+    | Sim_os.Syscall.Read { addr; _ } when result > 0 -> (
+      match read_mem_opt t t.main ~addr ~len:result with
+      | Some data -> [ { Rr_log.addr; data } ]
+      | None -> [])
+    | Sim_os.Syscall.Getrandom { addr; _ } when result > 0 -> (
+      match read_mem_opt t t.main ~addr ~len:result with
+      | Some data -> [ { Rr_log.addr; data } ]
+      | None -> [])
+    | _ -> []
+  in
+  let bytes =
+    (match in_data with Some b -> Bytes.length b | None -> 0)
+    + List.fold_left (fun acc { Rr_log.data; _ } -> acc + Bytes.length data) 0 effects
+  in
+  charge_record t t.main ~bytes;
+  Rr_log.record (current_log t) (Rr_log.Sys { call; in_data; result; effects });
+  t.stats.Stats.syscalls_recorded <- t.stats.Stats.syscalls_recorded + 1;
+  emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("call", Obs.Trace.Str (Sim_os.Syscall.name call));
+        ("bytes", Obs.Trace.Int bytes);
+      ]
+    "sys.record";
+  observe t "record.bytes" (float_of_int bytes);
+  wake_waiting_checker t;
+  E.resume t.eng t.main
+
+(* File-backed private mmap: slice around the call so the mapping is
+   established outside any segment and inherited by the next checker's
+   fork (§4.3.2). *)
+let mmap_split t =
+  end_segment t;
+  E.do_syscall t.eng t.main;
+  start_segment t;
+  E.resume t.eng t.main
+
+let emulate_nondet t pid insn =
+  let value =
+    match (insn : Isa.Insn.t) with
+    | Isa.Insn.Rdtsc _ -> E.now_ns t.eng
+    | Isa.Insn.Rdcoreid _ -> E.core_of t.eng pid
+    | Isa.Insn.Rdrand _ -> Util.Rng.bits64 t.rng
+    | _ -> 0
+  in
+  let reg =
+    match Isa.Insn.writes_reg insn with
+    | Some r -> r
+    | None -> 0
+  in
+  let cpu = E.cpu t.eng pid in
+  Machine.Cpu.set_reg cpu reg value;
+  Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
+  value
+
+let handle_main_event t ev =
+  match (ev : E.event) with
+  | E.Syscall_entry call -> (
+    match call with
+    | Sim_os.Syscall.Exit _ ->
+      end_segment t;
+      E.do_syscall t.eng t.main;
+      on_main_exited t
+    | Sim_os.Syscall.Mmap { flags; fd; _ }
+      when flags land Sim_os.Syscall.map_anon = 0 && fd >= 0 ->
+      mmap_split t
+    | _ -> record_and_pass t call)
+  | E.Nondet insn ->
+    let value = emulate_nondet t t.main insn in
+    Rr_log.record (current_log t) (Rr_log.Nondet { insn; value });
+    t.stats.Stats.nondet_recorded <- t.stats.Stats.nondet_recorded + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant "nondet.record";
+    wake_waiting_checker t;
+    E.resume t.eng t.main
+  | E.Cycle_overflow | E.Insn_overflow ->
+    t.stats.Stats.nr_slices <- t.stats.Stats.nr_slices + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+      ~args:[ ("nr", Obs.Trace.Int t.stats.Stats.nr_slices) ]
+      "slice";
+    boundary t
+  | E.Signal signum -> (
+    Rr_log.record (current_log t)
+      (Rr_log.Ext_signal { at = exec_point_now t; signum });
+    t.stats.Stats.signals_recorded <- t.stats.Stats.signals_recorded + 1;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+      ~args:[ ("signum", Obs.Trace.Int signum) ]
+      "signal.record";
+    E.deliver_signal_now t.eng t.main signum;
+    match E.state t.eng t.main with
+    | E.Exited _ ->
+      (* Signal-terminated: nothing left to protect. *)
+      t.abort_run ()
+    | E.Runnable | E.Stopped -> E.resume t.eng t.main)
+  | E.Halted ->
+    end_segment t;
+    E.force_exit t.eng t.main ~status:0;
+    on_main_exited t
+  | E.Fault _ ->
+    (* An application bug in the main process: outside the threat model;
+       terminate the protected run. *)
+    t.abort_run ()
+  | E.Breakpoint | E.Branch_overflow ->
+    (* Never armed on the main process. *)
+    E.resume t.eng t.main

@@ -1,0 +1,20 @@
+(** The record stage of the pipeline: main-process tracer events.
+
+    Slices the main process into segments, records every
+    application/OS interaction into the current segment's R/R log
+    (§3.2), forks the per-segment checker and checkpoint processes,
+    and hands each fully recorded segment to the replayer through the
+    {!Run_ctx.t.launch_checker} seam. *)
+
+val start_segment : Run_ctx.t -> unit
+(** Fork the next checker, open a fresh [Recording] segment as
+    [cur], clear dirty tracking, and re-arm the slicer. Also used by
+    recovery to restart the pipeline after a rollback. *)
+
+val do_boundary : Run_ctx.t -> unit
+(** End the current segment (launching its checker) and, unless the
+    main has exited, start the next one. The replayer calls this when a
+    completing segment releases a main process held on
+    [max_live_segments]. *)
+
+val handle_main_event : Run_ctx.t -> Sim_os.Engine.event -> unit

@@ -1,0 +1,133 @@
+(* The recovery stage: verified-prefix promotion of checkpoint
+   snapshots, rollback to the recovery point, and whole-run abort
+   teardown. *)
+
+module E = Sim_os.Engine
+open Run_ctx
+
+(* Segments torn down by rollback/abort never reach the replayer's
+   finish path, so without help their Begin spans would dangle in the
+   trace (Perfetto renders them as running forever) and their checker
+   latency would go unrecorded. Close the checker's "check" span -- and,
+   for the in-flight segment, the main-track "segment" span --
+   explicitly. *)
+let close_torn_down_check t seg =
+  match Segment.launched_at seg with
+  | Some launched_at_ns when not (Segment.is_done seg) ->
+    emit_ev t ~track:(Obs.Trace.Proc (Segment.checker seg)) ~phase:Obs.Trace.End
+      ~args:
+        [
+          ("seg", Obs.Trace.Int (Segment.id seg));
+          ("outcome", Obs.Trace.Str "torn-down");
+        ]
+      "check";
+    observe t "checker.latency_ns"
+      (float_of_int (E.time_ns t.eng - launched_at_ns))
+  | Some _ | None -> ()
+
+let close_torn_down_cur t =
+  match t.cur with
+  | None -> ()
+  | Some seg ->
+    close_torn_down_check t seg;
+    emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
+      ~args:
+        [
+          ("seg", Obs.Trace.Int (Segment.id seg));
+          ("outcome", Obs.Trace.Str "torn-down");
+        ]
+      "segment"
+
+(* Kill every process we own; ends the simulation. *)
+let abort_run t =
+  t.aborted <- true;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
+  List.iter (close_torn_down_check t) t.live;
+  close_torn_down_cur t;
+  List.iter
+    (fun seg ->
+      kill_if_alive t (Segment.checker seg);
+      (match Segment.snapshot seg with
+      | Some snap -> kill_if_alive t snap
+      | None -> ());
+      Segment.tear_down seg)
+    t.live;
+  (match t.cur with
+  | Some seg ->
+    kill_if_alive t (Segment.checker seg);
+    Segment.tear_down seg
+  | None -> ());
+  kill_if_alive t t.main;
+  release_recovery_state t
+
+(* Recovery-point bookkeeping: a snapshot becomes the recovery point once
+   every segment up to it has verified; older points are freed. *)
+let note_verified t ~id ~snapshot =
+  match snapshot with
+  | None -> ()
+  | Some snap ->
+    Hashtbl.replace t.verified_snapshots id snap;
+    let continue_promoting = ref true in
+    while !continue_promoting do
+      match Hashtbl.find_opt t.verified_snapshots (t.verified_prefix + 1) with
+      | Some snap' ->
+        t.verified_prefix <- t.verified_prefix + 1;
+        Hashtbl.remove t.verified_snapshots t.verified_prefix;
+        (match t.recovery_point with
+        | Some (_, old) -> kill_if_alive t old
+        | None -> ());
+        t.recovery_point <- Some (t.verified_prefix, snap')
+      | None -> continue_promoting := false
+    done
+
+(* Roll the whole run back to the recovery point: the paper's Table 2
+   "error recovery" future-work row. Externally visible syscalls since
+   that checkpoint are re-executed (the §3.4 buffered-IO assumption). *)
+let recover t =
+  t.stats.Stats.recoveries <- t.stats.Stats.recoveries + 1;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("nr", Obs.Trace.Int t.stats.Stats.recoveries);
+        ("verified_prefix", Obs.Trace.Int t.verified_prefix);
+      ]
+    "recovery";
+  List.iter (close_torn_down_check t) t.live;
+  close_torn_down_cur t;
+  (* Tear down everything derived from the (possibly corrupt) state. *)
+  List.iter
+    (fun seg ->
+      kill_if_alive t (Segment.checker seg);
+      (match Segment.snapshot seg with
+      | Some s -> kill_if_alive t s
+      | None -> ());
+      Segment.tear_down seg)
+    t.live;
+  (match t.cur with
+  | Some seg ->
+    kill_if_alive t (Segment.checker seg);
+    Segment.tear_down seg
+  | None -> ());
+  Hashtbl.iter (fun _ snap -> kill_if_alive t snap) t.verified_snapshots;
+  Hashtbl.reset t.verified_snapshots;
+  kill_if_alive t t.main;
+  t.live <- [];
+  t.cur <- None;
+  t.pending_boundary <- false;
+  t.main_exited <- false;
+  match t.recovery_point with
+  | None ->
+    (* No verified state to return to: give up. *)
+    abort_run t
+  | Some (_, snap) ->
+    t.recovery_point <- None;
+    (* Re-anchor the verified prefix at the ids the post-rollback
+       segments will get, so promotion resumes seamlessly. *)
+    t.verified_prefix <- t.next_id - 1;
+    Hashtbl.replace t.roles snap Main_role;
+    t.main <- snap;
+    E.set_core t.eng snap ~core:t.cfg.Config.main_core;
+    (* A fresh scheduler: the old one's bookkeeping refers to dead pids. *)
+    t.sched <- Scheduler.create t.eng t.cfg t.stats;
+    Recorder.start_segment t;
+    E.resume t.eng snap

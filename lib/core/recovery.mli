@@ -1,0 +1,21 @@
+(** The recovery stage of the pipeline.
+
+    Owns the run's fault-response state: promotion of verified
+    checkpoint snapshots into the recovery point (contiguous-prefix
+    rule), rollback of the whole run to that point (the paper's Table 2
+    "error recovery" extension), and the abort teardown that kills
+    every owned process so the simulation can end. *)
+
+val note_verified :
+  Run_ctx.t -> id:int -> snapshot:Sim_os.Engine.pid option -> unit
+(** Segment [id] verified cleanly; its end-of-segment snapshot (if any)
+    becomes promotable. Frees snapshots that stop being useful. *)
+
+val recover : Run_ctx.t -> unit
+(** Tear down every segment and checker, roll the main process back to
+    the recovery point, restart the pipeline there. Aborts instead when
+    no verified checkpoint is retained. *)
+
+val abort_run : Run_ctx.t -> unit
+(** Terminate the protected run: close dangling trace spans, kill every
+    owned process (checkers, snapshots, recovery state, the main). *)

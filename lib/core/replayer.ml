@@ -1,0 +1,414 @@
+(* The replay/check stage: everything driven by checker tracer events.
+   Launches checkers over recorded segments, replays their R/R logs,
+   drives them to the recorded execution points, compares program
+   state, and classifies divergences. *)
+
+module E = Sim_os.Engine
+open Run_ctx
+
+let record_error t seg outcome =
+  Stats.record_detection t.stats ~segment:(Segment.id seg) outcome;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
+      ]
+    "detection";
+  (match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.incr s "detections");
+  if t.first_error = None then t.first_error <- Some (Segment.id seg, outcome)
+
+let launch_checker t seg =
+  let checker = Segment.checker seg in
+  let cpu = E.cpu t.eng checker in
+  let r = Segment.recorded seg in
+  let signal_points = Rr_log.signal_points r.Segment.log in
+  (* In RAFT streaming mode the checker may have executed past some
+     signal points already; only the remaining ones become targets. *)
+  let remaining_signals =
+    List.filter
+      (fun (at, _) -> at.Exec_point.branches >= Machine.Cpu.branches cpu)
+      signal_points
+  in
+  let targets = List.map fst remaining_signals @ [ r.Segment.end_point ] in
+  let replay = Exec_point.start_replay ~targets ~cpu in
+  let timeout =
+    max 1000
+      (int_of_float
+         (t.cfg.Config.timeout_scale *. float_of_int r.Segment.insn_delta))
+  in
+  Machine.Cpu.arm_insn_overflow cpu ~target:timeout;
+  (match t.cfg.Config.fault_plan with
+  | Some { Config.segment; delay_instructions; reg; bit }
+    when segment = Segment.id seg ->
+    Machine.Cpu.arm_fault_injection cpu ~after_instructions:delay_instructions
+      ~reg ~bit
+  | Some _ | None -> ());
+  (* A streaming checker was launched when recording started and may be
+     stalled at its next interaction; a Parallaft checker is launched
+     here, once its segment is fully recorded. *)
+  let was_streaming = Segment.streaming seg <> None in
+  let was_waiting = Segment.waiting seg in
+  let launched_at_ns =
+    match Segment.launched_at seg with
+    | Some ns -> ns
+    | None -> E.time_ns t.eng
+  in
+  Segment.begin_checking seg ~replay ~pending_signals:remaining_signals
+    ~launched_at_ns;
+  t.stats.Stats.segment_insn_deltas <-
+    r.Segment.insn_delta :: t.stats.Stats.segment_insn_deltas;
+  observe t "segment.insns" (float_of_int r.Segment.insn_delta);
+  emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("targets", Obs.Trace.Int (List.length targets));
+        ("insns", Obs.Trace.Int r.Segment.insn_delta);
+      ]
+    "replay.start";
+  if not was_streaming then begin
+    emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
+      ~args:[ ("seg", Obs.Trace.Int (Segment.id seg)) ]
+      "check";
+    Scheduler.enqueue t.sched checker
+  end
+  else if was_waiting then
+    (* The streaming checker is stalled at its next interaction. Resuming
+       re-raises the stop: if it is resting on the segment-end pc the
+       freshly armed breakpoint fires first and completes the segment;
+       otherwise the syscall retries against the now-complete log. *)
+    E.resume t.eng checker
+
+let finish_checker t seg outcome_opt =
+  let checker = Segment.checker seg in
+  let launched_at_ns =
+    match Segment.launched_at seg with Some ns -> ns | None -> 0
+  in
+  let snapshot = Segment.snapshot seg in
+  Segment.complete seg;
+  let cpu = E.cpu t.eng checker in
+  Machine.Cpu.disarm_insn_overflow cpu;
+  Machine.Cpu.disarm_branch_overflow cpu;
+  Machine.Cpu.clear_all_breakpoints cpu;
+  (* Fault-injection classification for this run. *)
+  (match t.cfg.Config.fault_plan with
+  | Some { Config.segment; _ } when segment = Segment.id seg ->
+    t.stats.Stats.fi_fired <- Machine.Cpu.fault_injected cpu;
+    t.stats.Stats.fi_outcome <-
+      (match outcome_opt with
+      | Some o -> Some o
+      | None -> if t.stats.Stats.fi_fired then Some Detection.Benign else None)
+  | Some _ | None -> ());
+  (match outcome_opt with
+  | Some o -> record_error t seg o
+  | None -> ());
+  emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.End
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ( "outcome",
+          Obs.Trace.Str
+            (match outcome_opt with
+            | Some o -> Detection.outcome_to_string o
+            | None -> "ok") );
+      ]
+    "check";
+  observe t "checker.latency_ns"
+    (float_of_int (E.time_ns t.eng - launched_at_ns));
+  kill_if_alive t checker;
+  let failed = outcome_opt <> None in
+  (if t.cfg.Config.recovery && not failed then
+     Recovery.note_verified t ~id:(Segment.id seg) ~snapshot
+   else
+     match snapshot with
+     | Some snap -> kill_if_alive t snap
+     | None -> ());
+  t.live <- List.filter (fun s -> Segment.id s <> Segment.id seg) t.live;
+  Scheduler.finished t.sched checker;
+  if failed then begin
+    if
+      t.cfg.Config.recovery
+      && t.stats.Stats.recoveries < t.cfg.Config.max_recoveries
+    then Recovery.recover t
+    else Recovery.abort_run t
+  end
+  else if t.main_exited && t.cur = None && t.live = [] then
+    (* The last checker verified after a clean main exit: the run is
+       fully checked, so the retained recovery state has no further
+       purpose — free it or the engine never reaches zero live
+       processes. *)
+    release_recovery_state t
+  else if t.pending_boundary && live_count t < t.cfg.Config.max_live_segments
+  then begin
+    t.pending_boundary <- false;
+    Scheduler.set_main_held t.sched false;
+    Recorder.do_boundary t
+  end
+
+let reached_end t seg =
+  let c = Segment.checking seg in
+  let cpu = E.cpu t.eng (Segment.checker seg) in
+  Machine.Cpu.disarm_insn_overflow cpu;
+  let leftover = Rr_log.remaining_interactions c.Segment.cursor in
+  if leftover > 0 then
+    finish_checker t seg
+      (Some
+         (Detection.Detected
+            (Detection.Syscall_mismatch
+               { expected = "further recorded interactions"; got = "segment end" })))
+  else if t.cfg.Config.compare_states then begin
+    match c.Segment.snapshot with
+    | None -> finish_checker t seg None
+    | Some snap ->
+      let checker_dirty =
+        Dirty_tracker.collect t.cfg.Config.dirty_backend
+          (page_table_of t (Segment.checker seg))
+      in
+      let union = Comparator.union_sorted c.Segment.main_dirty checker_dirty in
+      let verdict, cs =
+        Comparator.compare_states ~hasher:t.cfg.Config.hasher
+          ?cache:t.page_digests ~reference:(E.cpu t.eng snap) ~candidate:cpu
+          ~dirty_vpns:union ()
+      in
+      let bytes = cs.Comparator.bytes_hashed in
+      charge_hash t (Segment.checker seg) ~bytes;
+      t.stats.Stats.bytes_hashed <- t.stats.Stats.bytes_hashed + bytes;
+      t.stats.Stats.pages_skipped_identical <-
+        t.stats.Stats.pages_skipped_identical
+        + cs.Comparator.pages_skipped_identical;
+      t.stats.Stats.page_hash_hits <-
+        t.stats.Stats.page_hash_hits + cs.Comparator.page_hash_hits;
+      t.stats.Stats.page_hash_misses <-
+        t.stats.Stats.page_hash_misses + cs.Comparator.page_hash_misses;
+      t.stats.Stats.segments_compared <- t.stats.Stats.segments_compared + 1;
+      emit_ev t ~track:(Obs.Trace.Proc (Segment.checker seg))
+        ~phase:Obs.Trace.Instant
+        ~args:
+          [
+            ("seg", Obs.Trace.Int (Segment.id seg));
+            ("bytes", Obs.Trace.Int bytes);
+            ( "skipped_identical",
+              Obs.Trace.Int cs.Comparator.pages_skipped_identical );
+            ("hash_hits", Obs.Trace.Int cs.Comparator.page_hash_hits);
+            ("hash_misses", Obs.Trace.Int cs.Comparator.page_hash_misses);
+            ( "verdict",
+              Obs.Trace.Str
+                (match verdict with
+                | Comparator.Match -> "match"
+                | Comparator.Mismatch _ -> "mismatch") );
+          ]
+        "compare";
+      observe t "compare.bytes" (float_of_int bytes);
+      observe t "compare.pages_skipped"
+        (float_of_int cs.Comparator.pages_skipped_identical);
+      (match t.cfg.Config.obs with
+      | None -> ()
+      | Some s ->
+        Obs.Sink.add s "compare.page_hash_hits" cs.Comparator.page_hash_hits;
+        Obs.Sink.add s "compare.page_hash_misses" cs.Comparator.page_hash_misses);
+      finish_checker t seg
+        (match verdict with
+        | Comparator.Match -> None
+        | Comparator.Mismatch m -> Some (Detection.Detected m))
+  end
+  else finish_checker t seg None
+
+let rec advance t seg adv =
+  match (adv : Exec_point.advance) with
+  | Exec_point.Keep_running -> E.resume t.eng (Segment.checker seg)
+  | Exec_point.Reached pt -> (
+    let c = Segment.checking seg in
+    match c.Segment.pending_signals with
+    | (spt, signum) :: rest when Exec_point.compare spt pt = 0 ->
+      c.Segment.pending_signals <- rest;
+      E.deliver_signal_now t.eng (Segment.checker seg) signum;
+      (match E.state t.eng (Segment.checker seg) with
+      | E.Exited _ ->
+        (* The signal's default action killed the checker — the main
+           survived it, so this is a divergence. *)
+        finish_checker t seg
+          (Some (Detection.Exception_detected "killed by replayed signal"))
+      | E.Runnable | E.Stopped ->
+        Exec_point.next_target c.Segment.replay;
+        advance t seg (Exec_point.poll c.Segment.replay))
+    | _ -> reached_end t seg)
+
+let fail_checker t seg mismatch =
+  finish_checker t seg (Some (Detection.Detected mismatch))
+
+let apply_effects t pid effects =
+  List.iter
+    (fun { Rr_log.addr; data } ->
+      ignore (Mem.Address_space.write_bytes (E.aspace t.eng pid) ~addr data))
+    effects
+
+let replay_process_local t seg (rec_ : Rr_log.sys_record) call =
+  let cpu = E.cpu t.eng (Segment.checker seg) in
+  let restore_args =
+    match (call : Sim_os.Syscall.call) with
+    | Sim_os.Syscall.Mmap { addr; flags; _ }
+      when flags land Sim_os.Syscall.map_anon <> 0 ->
+      (* Defeat ASLR divergence: pin the checker's mapping to the address
+         the kernel gave the main process (§4.3.2). The original argument
+         registers are restored afterwards so the rewrite is invisible to
+         the program-state comparison. *)
+      Machine.Cpu.set_reg cpu 1 rec_.result;
+      Machine.Cpu.set_reg cpu 4 (flags lor Sim_os.Syscall.map_fixed);
+      Some (addr, flags)
+    | _ -> None
+  in
+  E.do_syscall t.eng (Segment.checker seg);
+  (match restore_args with
+  | Some (addr, flags) ->
+    Machine.Cpu.set_reg cpu 1 addr;
+    Machine.Cpu.set_reg cpu 4 flags
+  | None -> ());
+  let verify_result =
+    match (call : Sim_os.Syscall.call) with
+    | Sim_os.Syscall.Sigreturn -> false
+    | _ -> true
+  in
+  if verify_result && Machine.Cpu.get_reg cpu 0 <> rec_.result then
+    fail_checker t seg
+      (Detection.Syscall_mismatch
+         {
+           expected =
+             Printf.sprintf "%s = %d" (Sim_os.Syscall.name call) rec_.result;
+           got =
+             Printf.sprintf "%s = %d" (Sim_os.Syscall.name call)
+               (Machine.Cpu.get_reg cpu 0);
+         })
+  else E.resume t.eng (Segment.checker seg)
+
+let checker_syscall t seg call =
+  emit_ev t ~track:(Obs.Trace.Proc (Segment.checker seg))
+    ~phase:Obs.Trace.Instant
+    ~args:[ ("call", Obs.Trace.Str (Sim_os.Syscall.name call)) ]
+    "sys.replay";
+  match Segment.cursor seg with
+  | None ->
+    fail_checker t seg
+      (Detection.Extra_interaction { got = Sim_os.Syscall.name call })
+  | Some cursor -> (
+    match Rr_log.next_interaction cursor with
+    | None when Segment.phase seg = Segment.Recording_p ->
+      (* Streaming replay caught up with the recorder: wait. *)
+      Segment.set_waiting seg true
+    | None ->
+      fail_checker t seg
+        (Detection.Extra_interaction { got = Sim_os.Syscall.name call })
+    | Some (Rr_log.Nondet _) ->
+      fail_checker t seg
+        (Detection.Syscall_mismatch
+           {
+             expected = "nondeterministic instruction";
+             got = Sim_os.Syscall.name call;
+           })
+    | Some (Rr_log.Ext_signal _) ->
+      (* next_interaction never yields signals *)
+      assert false
+    | Some (Rr_log.Sys rec_) ->
+      if rec_.call <> call then
+        fail_checker t seg
+          (Detection.Syscall_mismatch
+             {
+               expected = Sim_os.Syscall.name rec_.call;
+               got = Sim_os.Syscall.name call;
+             })
+      else begin
+        (* Check argument data (e.g. write payloads) against the record. *)
+        let data_matches =
+          match rec_.in_data with
+          | None -> true
+          | Some expected -> (
+            let got =
+              match (call : Sim_os.Syscall.call) with
+              | Sim_os.Syscall.Write { addr; len; _ } ->
+                read_mem_opt t (Segment.checker seg) ~addr ~len
+              | Sim_os.Syscall.Open { path_addr; path_len; _ } ->
+                read_mem_opt t (Segment.checker seg) ~addr:path_addr
+                  ~len:path_len
+              | _ -> None
+            in
+            match got with
+            | Some b -> Bytes.equal b expected
+            | None -> false)
+        in
+        if not data_matches then
+          fail_checker t seg
+            (Detection.Syscall_data_mismatch
+               { syscall = Sim_os.Syscall.name call })
+        else
+          match Sim_os.Syscall.categorize call with
+          | Sim_os.Syscall.Process_local -> replay_process_local t seg rec_ call
+          | Sim_os.Syscall.Globally_effectful | Sim_os.Syscall.Non_effectful ->
+            (* Never re-executed: answer from the record so external
+               effects happen exactly once. *)
+            E.complete_syscall t.eng (Segment.checker seg) ~result:rec_.result;
+            apply_effects t (Segment.checker seg) rec_.effects;
+            let bytes =
+              List.fold_left
+                (fun acc { Rr_log.data; _ } -> acc + Bytes.length data)
+                0 rec_.effects
+            in
+            charge_record t (Segment.checker seg) ~bytes;
+            E.resume t.eng (Segment.checker seg)
+      end)
+
+let checker_nondet t seg insn =
+  match Segment.cursor seg with
+  | None -> fail_checker t seg (Detection.Extra_interaction { got = "nondet" })
+  | Some cursor -> (
+    match Rr_log.next_interaction cursor with
+    | None when Segment.phase seg = Segment.Recording_p ->
+      Segment.set_waiting seg true
+    | Some (Rr_log.Nondet { insn = recorded_insn; value })
+      when recorded_insn = insn ->
+      let cpu = E.cpu t.eng (Segment.checker seg) in
+      (match Isa.Insn.writes_reg insn with
+      | Some reg -> Machine.Cpu.set_reg cpu reg value
+      | None -> ());
+      Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
+      E.resume t.eng (Segment.checker seg)
+    | Some (Rr_log.Sys r) ->
+      fail_checker t seg
+        (Detection.Syscall_mismatch
+           { expected = Sim_os.Syscall.name r.call; got = "nondet instruction" })
+    | Some (Rr_log.Nondet _) | Some (Rr_log.Ext_signal _) | None ->
+      fail_checker t seg
+        (Detection.Extra_interaction { got = "nondet instruction" }))
+
+let fault_to_string (f : Machine.Cpu.fault) =
+  match f with
+  | Machine.Cpu.Segv { addr; write } ->
+    Printf.sprintf "SIGSEGV at %#x (%s)" addr (if write then "write" else "read")
+  | Machine.Cpu.Div_by_zero -> "SIGFPE (division by zero)"
+  | Machine.Cpu.Bad_pc pc -> Printf.sprintf "control flow left the code (pc=%d)" pc
+
+let handle_checker_event t seg ev =
+  if Segment.is_done seg then () (* stale event after the segment completed *)
+  else
+    match (ev : E.event) with
+    | E.Syscall_entry call -> checker_syscall t seg call
+    | E.Nondet insn -> checker_nondet t seg insn
+    | E.Branch_overflow ->
+      advance t seg
+        (Exec_point.on_branch_overflow (Segment.checking seg).Segment.replay)
+    | E.Breakpoint ->
+      advance t seg
+        (Exec_point.on_breakpoint (Segment.checking seg).Segment.replay)
+    | E.Insn_overflow -> finish_checker t seg (Some Detection.Timeout_detected)
+    | E.Fault f ->
+      finish_checker t seg
+        (Some (Detection.Exception_detected (fault_to_string f)))
+    | E.Halted ->
+      finish_checker t seg
+        (Some (Detection.Exception_detected "checker ran past the segment end"))
+    | E.Cycle_overflow -> E.resume t.eng (Segment.checker seg)
+    | E.Signal _ ->
+      (* External signals target the main process; recorded there and
+         replayed by execution point, never delivered here directly. *)
+      E.resume t.eng (Segment.checker seg)

@@ -1,0 +1,18 @@
+(** The replay/check stage of the pipeline: checker tracer events.
+
+    Launches a checker over its fully recorded segment (replay targets,
+    timeout, optional fault injection), replays the segment's R/R log
+    against the checker's interactions, drives it to the recorded
+    execution points (§4.2), runs the program-state comparison at the
+    segment end, and classifies any divergence. A failed check is
+    handed to {!Recovery} (rollback or abort); a completing segment may
+    release a main process held on [max_live_segments] back through
+    {!Recorder.do_boundary}. *)
+
+val launch_checker : Run_ctx.t -> Segment.t -> unit
+(** Arm and (for Parallaft) schedule the checker of a segment in
+    [Awaiting_launch]; transitions it to [Checking]. For a RAFT
+    streaming checker — launched when recording started — this only
+    arms the replay targets and wakes the checker if it was stalled. *)
+
+val handle_checker_event : Run_ctx.t -> Segment.t -> Sim_os.Engine.event -> unit

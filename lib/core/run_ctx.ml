@@ -1,0 +1,216 @@
+(* Shared run-level state threaded through the pipeline stages
+   (Recorder -> Replayer -> Recovery) plus the helpers every stage
+   needs: observability emits, simulated-cost charging, process
+   bookkeeping, and the cross-structure debug invariant sweep. *)
+
+module E = Sim_os.Engine
+
+type role =
+  | Main_role
+  | Checker_role of Segment.t
+
+type t = {
+  eng : E.t;
+  cfg : Config.t;
+  stats : Stats.t;
+  mutable sched : Scheduler.t;
+  rng : Util.Rng.t;
+  mutable main : E.pid;
+  roles : (E.pid, role) Hashtbl.t;
+  mutable cur : Segment.t option;  (* the segment being recorded *)
+  mutable live : Segment.t list;  (* recorded segments with running checkers *)
+  (* Per-frame page-digest memo shared by every segment comparison of the
+     run. Sound across rollbacks: frame ids are never reused and in-place
+     writes bump the generation, so stale entries can only miss. [None]
+     when the config disables the memo. *)
+  page_digests : Mem.Page_digest_cache.t option;
+  mutable next_id : int;
+  mutable seg_start_branches : int;
+  mutable seg_start_insns : int;
+  mutable main_exited : bool;
+  mutable pending_boundary : bool;
+  mutable first_error : (int * Detection.outcome) option;
+  mutable aborted : bool;
+  (* Recovery extension: the last checkpoint known good (every segment up
+     to and including it verified), plus verified-but-not-yet-contiguous
+     snapshots awaiting prefix promotion. *)
+  mutable recovery_point : (int * E.pid) option;
+  verified_snapshots : (int, E.pid) Hashtbl.t;
+  mutable verified_prefix : int;  (* all segment ids <= this verified *)
+  mutable all_segments : Segment.t list;
+      (* newest first; retained only under cfg.check_invariants, for
+         {!Coordinator.segment_histories} *)
+  (* Callback seams, wired by Coordinator.create. They break the two
+     module cycles of the pipeline: the recorder hands a finished
+     segment to the replayer (launch_checker), and both recorder and
+     replayer tear the run down through recovery (abort_run). *)
+  mutable launch_checker : Segment.t -> unit;
+  mutable abort_run : unit -> unit;
+}
+
+let unwired _ =
+  raise
+    (Segment.Invariant_violation
+       "run context: callback seam used before the coordinator wired it")
+
+let create eng cfg =
+  let stats = Stats.create () in
+  {
+    eng;
+    cfg;
+    stats;
+    sched = Scheduler.create eng cfg stats;
+    rng = Util.Rng.create ~seed:0x5EEDL;
+    main = -1;
+    roles = Hashtbl.create 16;
+    cur = None;
+    live = [];
+    page_digests =
+      (if cfg.Config.compare_states && cfg.Config.page_hash_cache_pages > 0 then
+         Some
+           (Mem.Page_digest_cache.create
+              ~capacity:cfg.Config.page_hash_cache_pages)
+       else None);
+    next_id = 0;
+    seg_start_branches = 0;
+    seg_start_insns = 0;
+    main_exited = false;
+    pending_boundary = false;
+    first_error = None;
+    aborted = false;
+    recovery_point = None;
+    verified_snapshots = Hashtbl.create 8;
+    verified_prefix = -1;
+    all_segments = [];
+    launch_checker = unwired;
+    abort_run = (fun () -> unwired ());
+  }
+
+let plat t = E.platform t.eng
+
+(* ------------------------------------------------------------------ *)
+(* Observability: every emit compiles to a single option check when no
+   sink is configured. Timestamps are simulated time, never wall clock. *)
+
+let emit_ev t ~track ~phase ?args name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.emit s ~ts_ns:(E.time_ns t.eng) ~track ~phase ?args name
+
+let observe t name v =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.observe s name v
+
+let main_track t = Obs.Trace.Core t.cfg.Config.main_core
+
+(* ------------------------------------------------------------------ *)
+(* Simulated-cost charging                                              *)
+
+let big_eff_hz t =
+  let big = Platform.big_cluster (plat t) in
+  Platform.effective_hz big ~level:big.Platform.default_level
+
+let cycles_to_ns t cycles = float_of_int cycles *. 1e9 /. big_eff_hz t
+
+let charge_scan t pid ~pages =
+  let cycles = pages * (plat t).Platform.dirty_scan_per_page_cycles in
+  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
+
+let charge_hash t pid ~bytes =
+  let cycles = bytes / max 1 (plat t).Platform.hash_bytes_per_cycle in
+  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
+
+let charge_record t pid ~bytes =
+  let ns = float_of_int bytes *. (plat t).Platform.syscall_record_ns_per_byte in
+  if ns > 0.0 then E.delay t.eng pid ~ns
+
+(* ------------------------------------------------------------------ *)
+(* Process helpers                                                      *)
+
+let main_cpu t = E.cpu t.eng t.main
+
+let page_table_of t pid = Mem.Address_space.page_table (E.aspace t.eng pid)
+
+let exec_point_now t =
+  {
+    Exec_point.branches = Machine.Cpu.branches (main_cpu t) - t.seg_start_branches;
+    pc = Machine.Cpu.get_pc (main_cpu t);
+  }
+
+let read_mem_opt t pid ~addr ~len =
+  try Some (Mem.Address_space.read_bytes (E.aspace t.eng pid) ~addr ~len)
+  with Mem.Address_space.Segfault _ -> None
+
+let kill_if_alive t pid =
+  match E.state t.eng pid with
+  | E.Exited _ -> ()
+  | E.Runnable | E.Stopped -> E.kill t.eng pid
+
+let live_count t = List.length t.live
+
+(* Free the recovery-point snapshot and any verified-but-unpromoted
+   snapshots: on clean completion there is nothing left to recover, and
+   on abort the run is over — either way, leaving them alive leaks
+   engine processes (and keeps the simulation spinning until its hang
+   bound, since the engine only stops when no live process remains). *)
+let release_recovery_state t =
+  (match t.recovery_point with
+  | Some (_, snap) -> kill_if_alive t snap
+  | None -> ());
+  t.recovery_point <- None;
+  Hashtbl.iter (fun _ snap -> kill_if_alive t snap) t.verified_snapshots;
+  Hashtbl.reset t.verified_snapshots
+
+(* ------------------------------------------------------------------ *)
+(* Debug invariants (cfg.check_invariants): after every handled tracer
+   event, the segment state machines and the run-level structures
+   (cur/live, roles table, scheduler, engine) must agree. *)
+
+let violation fmt =
+  Printf.ksprintf (fun s -> raise (Segment.Invariant_violation s)) fmt
+
+let check_invariants t =
+  if t.cfg.Config.check_invariants && not t.aborted then begin
+    let tracked = (match t.cur with Some s -> [ s ] | None -> []) @ t.live in
+    (match t.cur with
+    | Some s when Segment.phase s <> Segment.Recording_p ->
+      violation "current segment %d is %s, not recording" (Segment.id s)
+        (Segment.phase_to_string (Segment.phase s))
+    | Some _ | None -> ());
+    List.iter
+      (fun s ->
+        if Segment.phase s <> Segment.Checking_p then
+          violation "live segment %d is %s, not checking" (Segment.id s)
+            (Segment.phase_to_string (Segment.phase s)))
+      t.live;
+    List.iter Segment.check_invariants tracked;
+    List.iter
+      (fun s ->
+        if Segment.torn_down s then
+          violation "segment %d is torn down but still tracked" (Segment.id s);
+        (match Hashtbl.find_opt t.roles (Segment.checker s) with
+        | Some (Checker_role s') when s' == s -> ()
+        | Some (Checker_role s') ->
+          violation "checker %d maps to segment %d, expected %d"
+            (Segment.checker s) (Segment.id s') (Segment.id s)
+        | Some Main_role | None ->
+          violation "roles table lost checker %d of segment %d"
+            (Segment.checker s) (Segment.id s));
+        match E.state t.eng (Segment.checker s) with
+        | E.Exited _ ->
+          violation "checker %d of tracked segment %d has exited"
+            (Segment.checker s) (Segment.id s)
+        | E.Runnable | E.Stopped -> ())
+      tracked;
+    (match Hashtbl.find_opt t.roles t.main with
+    | Some Main_role -> ()
+    | Some (Checker_role _) | None ->
+      violation "roles table lost the main process (pid %d)" t.main);
+    let tracked_checkers = List.map Segment.checker tracked in
+    List.iter
+      (fun pid ->
+        if not (List.mem pid tracked_checkers) then
+          violation "scheduler holds pid %d belonging to no tracked segment" pid)
+      (Scheduler.queued_pids t.sched @ Scheduler.running_pids t.sched)
+  end

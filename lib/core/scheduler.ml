@@ -92,6 +92,10 @@ let take_core t =
 let release_core t core =
   if is_little t core then t.free_little <- core :: t.free_little
   else if List.mem core t.big_pool then t.free_big <- core :: t.free_big
+  else
+    (* Cores only ever come from take_core/migration, so an unknown core
+       here means the scheduler's bookkeeping is corrupt. *)
+    invalid_arg (Printf.sprintf "Scheduler.release_core: core %d in neither pool" core)
 
 let start_on t pid core =
   Sim_os.Engine.set_core t.eng pid ~core;
@@ -154,7 +158,14 @@ let finished t pid =
     t.running <- rest;
     release_core t e.core;
     try_dispatch t
-  | _, _ -> t.queued <- List.filter (fun q -> q <> pid) t.queued
+  | _, _ ->
+    let depth = List.length t.queued in
+    t.queued <- List.filter (fun q -> q <> pid) t.queued;
+    (* A still-queued checker was torn down before it ever ran: the
+       dequeue changes the backlog, so the gauge must track it just as
+       enqueue does. *)
+    if List.length t.queued <> depth then
+      observe t "sched.queue_depth" (float_of_int (List.length t.queued))
 
 let on_main_exit t =
   t.main_exited <- true;
@@ -175,6 +186,8 @@ let set_main_held t held = t.main_held <- held
 
 let queued_count t = List.length t.queued
 let running_count t = List.length t.running
+let queued_pids t = t.queued
+let running_pids t = List.map (fun e -> e.pid) t.running
 
 let pacer_tick t =
   List.iter (fun e -> account t e) t.running;

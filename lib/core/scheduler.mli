@@ -27,7 +27,9 @@ val enqueue : t -> Sim_os.Engine.pid -> unit
 val finished : t -> Sim_os.Engine.pid -> unit
 (** The checker completed (or was killed): frees its core, accounts its
     CPU time to the big/little buckets, schedules the next queued
-    checker. Safe to call for a pid the scheduler never saw (no-op). *)
+    checker. A pid that never ran is removed from the queue (re-emitting
+    the [sched.queue_depth] gauge); a pid the scheduler never saw is a
+    no-op. *)
 
 val on_main_exit : t -> unit
 
@@ -39,3 +41,9 @@ val pacer_tick : t -> unit
 
 val queued_count : t -> int
 val running_count : t -> int
+
+val queued_pids : t -> Sim_os.Engine.pid list
+(** Checkers waiting for a core, oldest first (debug/invariants). *)
+
+val running_pids : t -> Sim_os.Engine.pid list
+(** Checkers currently holding a core, oldest first (debug/invariants). *)

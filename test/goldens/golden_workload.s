@@ -1,0 +1,38 @@
+; Fixed golden workload for the refactor byte-identity checks (test/dune
+; @golden alias, `make golden-check`).
+;
+; A small deterministic loop mixing syscalls (getpid), memory traffic
+; (store/load round trips through the heap) and a final write of the
+; accumulated checksums, so every detection mechanism has something to
+; bite on:
+;   - r13/r14 carry checksums that end up in registers, memory and the
+;     program output; both accumulate linearly (no doubling, no
+;     masking), so an injected bit flip keeps a permanent delta the
+;     comparator always sees;
+;   - r12 is the loop counter (flipping it desynchronizes the checker's
+;     syscall stream, which even RAFT's syscall-only detection catches).
+.zero 0x10000 4096
+  li r12, 400        ; iterations
+  li r13, 0          ; pid checksum
+  li r14, 0          ; store/load round-trip checksum
+  li r9, 0x10000     ; heap scratch buffer
+loop:
+  li r0, 9           ; getpid()
+  syscall
+  add r13, r13, r0
+  store r13, r9, 0
+  load r8, r9, 0
+  add r14, r14, r8
+  li r10, 0
+  sub r12, r12, 1
+  bne r12, r10, loop
+  store r13, r9, 8
+  store r14, r9, 16
+  li r0, 1           ; write(1, heap+8, 16)
+  li r1, 1
+  li r2, 0x10008
+  li r3, 16
+  syscall
+  li r0, 0           ; exit(0)
+  li r1, 0
+  syscall
