@@ -1,7 +1,7 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  invariants golden-check ci clean
+  fault-smoke invariants golden-check ci clean
 
 all: build
 
@@ -56,7 +56,15 @@ golden-check: build
 compare-smoke: build
 	PARALLAFT_QUICK=1 dune exec bench/main.exe -- --compare-smoke
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke
+# The fault model end to end: the full target x recovery grid (quick
+# trial counts) on one benchmark, with run-structure invariants checked
+# on every routed event. Asserts no silent data corruption anywhere and
+# that both hardened responses (transient re-check, rollback recovery)
+# actually triggered. Exits nonzero on any violation.
+fault-smoke: build
+	PARALLAFT_INVARIANTS=1 PARALLAFT_QUICK=1 dune exec bin/fault_smoke.exe
+
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke
 
 clean:
 	dune clean

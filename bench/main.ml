@@ -165,8 +165,8 @@ let tests =
       (Staged.stage
          (protected_run
             ~fault_plan:
-              { Parallaft.Config.segment = 0; delay_instructions = 500; reg = 13;
-                bit = 4 }
+              (Fault.checker_register ~segment:0 ~delay_instructions:500
+                 ~reg:13 ~bit:4)
             parallaft_cfg));
     (* Section 5.7 (stress): the state comparator's hashing, XXH64 vs FNV. *)
     Test.make ~name:"stress:xxh64_hash_1MiB"

@@ -1,0 +1,46 @@
+(* CI smoke for the fault model: run the full target x recovery grid
+   (quick trial counts) on one quick benchmark and fail loudly if the
+   pipeline ever lets a fault through silently. Run under
+   PARALLAFT_INVARIANTS=1 (see `make fault-smoke`) so every routed event
+   also sweeps the run-structure invariants.
+
+   Pass criteria:
+     - sdc = 0          (no silent data corruption, any target, any mode)
+     - transient >= 1   (the re-check path actually resolved something)
+     - recovered >= 1   (the rollback path actually recovered something) *)
+
+module FI = Experiments.Exp_fault_injection
+
+let () =
+  let scale =
+    match Sys.getenv_opt "PARALLAFT_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let platform = Platform.testing in
+  let rng = Util.Rng.create ~seed:0x5A0CEL in
+  let bench = List.hd (Experiments.Suite.benchmarks ~quick:true) in
+  Obs.Log.progress "fault-smoke: %s (scale %.2f, quick grid)"
+    bench.Workloads.Spec.name scale;
+  let totals =
+    FI.run_grid ~platform ~scale:(FI.fi_scale scale) ~quick:true ~rng bench
+  in
+  let failures = ref [] in
+  let check name ok detail =
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  check "sdc = 0" (totals.FI.sdc = 0) (Printf.sprintf "sdc=%d" totals.FI.sdc);
+  check "transient >= 1"
+    (totals.FI.transient >= 1)
+    (Printf.sprintf "transient=%d" totals.FI.transient);
+  check "recovered >= 1"
+    (totals.FI.recovered >= 1)
+    (Printf.sprintf "recovered=%d" totals.FI.recovered);
+  match !failures with
+  | [] ->
+    Printf.printf
+      "fault-smoke OK: sdc=0 transient=%d recovered=%d hard=%d benign=%d\n"
+      totals.FI.transient totals.FI.recovered totals.FI.hard totals.FI.benign
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "fault-smoke FAIL: %s\n" f) (List.rev fs);
+    exit 1

@@ -17,7 +17,10 @@
    and counters). Traces are keyed on simulated time, so equal seeds
    give byte-identical files. [--fault SEG,DELAY,REG,BIT] arms a single
    fault injection (handy for demonstrating detection events in a
-   trace); it requires a checker, so it is rejected in baseline mode. *)
+   trace); it requires a checker, so it is rejected in baseline mode.
+   [--fault-target KIND] picks the fault class (checker/main register or
+   memory page, or a runtime kill/stall of the checker itself), and
+   [--recheck] enables the transient re-check response. *)
 
 open Cmdliner
 
@@ -38,11 +41,32 @@ let mode_of_string = function
 let fault_of_string s =
   match String.split_on_char ',' s |> List.map int_of_string_opt with
   | [ Some segment; Some delay_instructions; Some reg; Some bit ] ->
-    Ok { Parallaft.Config.segment; delay_instructions; reg; bit }
+    Ok (segment, delay_instructions, reg, bit)
   | _ -> Error (`Msg ("bad fault plan " ^ s ^ " (want SEG,DELAY,REG,BIT)"))
 
+(* Combine --fault SEG,DELAY,REG,BIT with --fault-target KIND into a
+   typed plan. REG doubles as the page index for memory targets and is
+   ignored (with BIT) by runtime targets. *)
+let build_plan fault fault_target =
+  match fault with
+  | None -> Ok None
+  | Some (segment, delay_instructions, reg, bit) -> (
+    match Fault.target_kind_of_string fault_target with
+    | Error k ->
+      Error
+        (Printf.sprintf "unknown fault target %s (want %s)" k
+           (String.concat "|" Fault.all_target_kinds))
+    | Ok build -> (
+      let plan =
+        { Fault.segment; delay_instructions; target = build reg bit;
+          repeat = false }
+      in
+      match Fault.validate plan with
+      | Ok () -> Ok (Some plan)
+      | Error m -> Error m))
+
 let run platform_name mode_name period scale workload input asm_file seed
-    show_output trace_file metrics_file fault recovery =
+    show_output trace_file metrics_file fault fault_target recheck recovery =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -134,7 +158,12 @@ let run platform_name mode_name period scale workload input asm_file seed
             | None -> "none");
           if show_output then print_string b.Parallaft.Runtime.output;
           if dumped then 0 else 1
-        | Mode_parallaft | Mode_raft ->
+        | Mode_parallaft | Mode_raft -> (
+          match build_plan fault fault_target with
+          | Error m ->
+            prerr_endline ("parallaft: " ^ m);
+            1
+          | Ok fault_plan ->
           let config =
             match mode with
             | Mode_parallaft ->
@@ -142,7 +171,8 @@ let run platform_name mode_name period scale workload input asm_file seed
             | Mode_raft | Mode_baseline -> Parallaft.Config.raft ~platform ()
           in
           let config =
-            { config with Parallaft.Config.obs = sink; fault_plan = fault; recovery }
+            { config with Parallaft.Config.obs = sink; fault_plan; recovery;
+              recheck_on_mismatch = recheck }
           in
           let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
           let dumped = dump_obs r.Parallaft.Runtime.obs in
@@ -165,7 +195,7 @@ let run platform_name mode_name period scale workload input asm_file seed
           if show_output then print_string r.Parallaft.Runtime.output;
           if not dumped then 1
           else if r.Parallaft.Runtime.detections <> [] then 3
-          else 0)))
+          else 0))))
 
 let platform_arg =
   Arg.(value & opt string "apple_m2" & info [ "platform" ] ~docv:"NAME"
@@ -217,6 +247,20 @@ let fault_arg =
                of segment $(i,SEG) after $(i,DELAY) instructions. Only valid \
                with --mode parallaft or raft.")
 
+let fault_target_arg =
+  Arg.(value & opt string "checker-reg" & info [ "fault-target" ] ~docv:"KIND"
+         ~doc:"Fault target class for --fault: checker-reg, checker-mem, \
+               main-reg, main-mem, runtime-kill or runtime-stall. For memory \
+               targets the REG field of --fault is the mapped-page index; \
+               runtime targets ignore REG and BIT.")
+
+let recheck_arg =
+  Arg.(value & flag & info [ "recheck" ]
+         ~doc:"Re-dispatch a failed check once on a fresh checker forked from \
+               the segment's start snapshot; a passing re-check classifies the \
+               failure as a transient checker fault and the run continues \
+               without rollback.")
+
 let recovery_arg =
   Arg.(value & flag & info [ "recovery" ]
          ~doc:"Enable error recovery: on a detection, roll the main process \
@@ -228,7 +272,7 @@ let cmd =
     Term.(
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
-      $ metrics_arg $ fault_arg $ recovery_arg)
+      $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

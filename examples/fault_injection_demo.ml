@@ -17,7 +17,7 @@ let inject ~label ~segment ~delay ~reg ~bit program =
     {
       (Parallaft.Config.parallaft ~platform ()) with
       Parallaft.Config.fault_plan =
-        Some { Parallaft.Config.segment; delay_instructions = delay; reg; bit };
+        Some (Fault.checker_register ~segment ~delay_instructions:delay ~reg ~bit);
     }
   in
   let r = Parallaft.Runtime.run_protected ~platform ~config ~program () in

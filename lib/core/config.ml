@@ -11,13 +11,6 @@ type dirty_backend =
   | Map_count
   | Full_compare
 
-type fault_plan = {
-  segment : int;
-  delay_instructions : int;
-  reg : int;
-  bit : int;
-}
-
 type t = {
   mode : mode;
   slice_period : int;
@@ -32,9 +25,12 @@ type t = {
   main_core : int;
   checkers_on_little : bool;
   pacer_tick_ns : int;
-  fault_plan : fault_plan option;
+  fault_plan : Fault.plan option;
   recovery : bool;
   max_recoveries : int;
+  recheck_on_mismatch : bool;
+  watchdog_stall_ns : int;
+  watchdog_retries : int;
   check_invariants : bool;
   obs : Obs.Sink.t option;
 }
@@ -72,6 +68,9 @@ let parallaft ~platform ?slice_period () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    recheck_on_mismatch = false;
+    watchdog_stall_ns = 100_000_000;
+    watchdog_retries = 1;
     check_invariants = invariants_from_env ();
     obs = None;
   }
@@ -94,6 +93,9 @@ let raft ~platform () =
     fault_plan = None;
     recovery = false;
     max_recoveries = 3;
+    recheck_on_mismatch = false;
+    watchdog_stall_ns = 100_000_000;
+    watchdog_retries = 1;
     check_invariants = invariants_from_env ();
     obs = None;
   }

@@ -23,15 +23,6 @@ type dirty_backend =
   | Map_count  (** PAGEMAP_SCAN-style unique-mapping query (AArch64) *)
   | Full_compare  (** ablation: compare every mapped page *)
 
-(** Fault-injection plan for one run (§5.6): flip [bit] of [reg] in the
-    checker of segment [segment] after [delay_instructions]. *)
-type fault_plan = {
-  segment : int;  (** 0-based segment index *)
-  delay_instructions : int;
-  reg : int;
-  bit : int;
-}
-
 type t = {
   mode : mode;
   slice_period : int;
@@ -55,7 +46,9 @@ type t = {
   main_core : int;
   checkers_on_little : bool;
   pacer_tick_ns : int;
-  fault_plan : fault_plan option;
+  fault_plan : Fault.plan option;
+      (** inject one fault into this run, at any of the {!Fault.target}
+          classes (§5.6 generalized; DESIGN.md §13) *)
   recovery : bool;
       (** EXTENSION (the paper's Table 2 "future work" row): on a
           detection, roll the main process back to the last verified
@@ -64,8 +57,30 @@ type t = {
           syscalls issued since that checkpoint are re-executed, so
           recovery assumes buffered/reversible IO. *)
   max_recoveries : int;
-      (** abort anyway after this many rollbacks (a persistent hard
-          fault would otherwise loop forever) *)
+      (** abort anyway after this many rollbacks (the backstop behind
+          the Hard_fault classifier, which catches a persistent fault
+          after a single wasted rollback) *)
+  recheck_on_mismatch : bool;
+      (** EXTENSION (DESIGN.md §13): treat a checker-side failure
+          (mismatch, crash, timeout, watchdog kill) as possibly the
+          {e checker's} fault: re-dispatch the check once, on a fresh
+          checker forked from the segment's start snapshot. If the
+          re-check passes the failure is classified
+          {!Detection.Transient_checker_fault} and the run continues
+          without rollback; if it fails too, the failure stands and the
+          normal recover-or-abort response runs. Costs one extra fork
+          per launched segment (the pristine spare the re-check needs). *)
+  watchdog_stall_ns : int;
+      (** checker watchdog (DESIGN.md §13): a checking checker that
+          makes no instruction progress for this much simulated time —
+          while holding a core, not queued, and not waiting on a
+          streaming log — is declared stalled, killed, and re-dispatched
+          (or failed, once out of retries/spares). Catches the stalls
+          and kills the instruction-budget timeout cannot (that budget
+          only fires if the checker is {e executing}). [<= 0] disables. *)
+  watchdog_retries : int;
+      (** re-dispatches the watchdog may attempt per segment before it
+          declares the checker failed *)
   check_invariants : bool;
       (** debug: after every handled tracer event, validate segment
           state-machine legality and cross-structure consistency (roles,

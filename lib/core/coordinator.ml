@@ -33,12 +33,27 @@ let handle_event (t : t) pid ev =
   | Some Run_ctx.Main_role -> Recorder.handle_main_event t ev
   | Some (Run_ctx.Checker_role seg) -> Replayer.handle_checker_event t seg ev
   | None -> ());
+  (* An armed runtime fault strikes as soon as its conditions hold —
+     event-driven as well as on the tick, since a short check can start
+     and retire entirely between two ticks. The watchdog then runs
+     before the invariant sweep: a checker killed out-of-band must be
+     re-dispatched or failed before the sweep would flag the dead pid
+     as a structure violation. *)
+  t.Run_ctx.runtime_fault_poll ();
+  Watchdog.poll t;
   Run_ctx.check_invariants t
 
 let create eng cfg ~program =
   let t = Run_ctx.create eng cfg in
   t.Run_ctx.launch_checker <- Replayer.launch_checker t;
   t.Run_ctx.abort_run <- (fun () -> Recovery.abort_run t);
+  t.Run_ctx.recover_or_abort <-
+    (fun () ->
+      if
+        cfg.Config.recovery
+        && t.Run_ctx.stats.Stats.recoveries < cfg.Config.max_recoveries
+      then Recovery.recover t
+      else Recovery.abort_run t);
   (match cfg.Config.obs with
   | Some sink -> E.set_obs eng sink
   | None -> ());
@@ -61,4 +76,61 @@ let create eng cfg ~program =
   E.resume eng main;
   E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ ->
       Scheduler.pacer_tick t.Run_ctx.sched);
+  (* The watchdog also needs a time-based poll: a dead or stalled
+     checker generates no tracer events, so event-driven polling alone
+     would leave the run hanging until the engine's global bound. *)
+  E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ -> Watchdog.poll t);
+  (* Runtime faults (kill/stall a checker mid-check) are armed at the
+     engine level: the fault fires once a covered segment is checking
+     and its checker has retired the plan's delay. Polled from the
+     periodic tick AND after every routed event (handle_event) — a
+     short check can start and retire entirely between two ticks. One
+     strike per checker incarnation — a [repeat] plan also strikes
+     re-dispatched checkers and later segments. *)
+  (match cfg.Config.fault_plan with
+  | Some ({ Fault.target = Fault.Runtime_fault kind; _ } as plan) ->
+    let struck : (E.pid, unit) Hashtbl.t = Hashtbl.create 4 in
+    let poll () =
+      if not t.Run_ctx.aborted then
+        List.iter
+          (fun seg ->
+            if
+              (not (Segment.torn_down seg))
+              && Segment.phase seg = Segment.Checking_p
+              && Run_ctx.plan_covers plan ~id:(Segment.id seg)
+              && (plan.Fault.repeat || Segment.redispatches seg = 0)
+            then begin
+              let checker = Segment.checker seg in
+              if
+                (not (Hashtbl.mem struck checker))
+                && (match E.state eng checker with
+                   | E.Runnable -> true
+                   | E.Stopped | E.Exited _ -> false)
+                && Machine.Cpu.instructions (E.cpu eng checker)
+                   >= plan.Fault.delay_instructions
+              then begin
+                Hashtbl.add struck checker ();
+                t.Run_ctx.stats.Stats.fi_fired <- true;
+                Run_ctx.emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+                  ~args:
+                    [
+                      ("seg", Obs.Trace.Int (Segment.id seg));
+                      ("checker", Obs.Trace.Int checker);
+                      ( "kind",
+                        Obs.Trace.Str
+                          (match kind with
+                          | Fault.Kill -> "kill"
+                          | Fault.Stall -> "stall") );
+                    ]
+                  "fault.runtime";
+                match kind with
+                | Fault.Kill -> E.kill eng checker
+                | Fault.Stall -> E.suspend eng checker
+              end
+            end)
+          t.Run_ctx.live
+    in
+    t.Run_ctx.runtime_fault_poll <- poll;
+    E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ -> poll ())
+  | Some _ | None -> ());
   t

@@ -11,6 +11,8 @@ type outcome =
   | Detected of mismatch
   | Exception_detected of string
   | Timeout_detected
+  | Transient_checker_fault of string
+  | Hard_fault of { segment : int; rollbacks : int; last : string }
   | Benign
 
 let mismatch_to_string = function
@@ -31,8 +33,14 @@ let outcome_to_string = function
   | Detected m -> "detected (" ^ mismatch_to_string m ^ ")"
   | Exception_detected s -> "exception (" ^ s ^ ")"
   | Timeout_detected -> "timeout"
+  | Transient_checker_fault s -> "transient checker fault (" ^ s ^ ")"
+  | Hard_fault { segment; rollbacks; last } ->
+    Printf.sprintf "hard fault (segment %d detected again after %d rollback%s: %s)"
+      segment rollbacks
+      (if rollbacks = 1 then "" else "s")
+      last
   | Benign -> "benign"
 
 let is_detected = function
-  | Detected _ | Exception_detected _ | Timeout_detected -> true
-  | Benign -> false
+  | Detected _ | Exception_detected _ | Timeout_detected | Hard_fault _ -> true
+  | Transient_checker_fault _ | Benign -> false

@@ -16,11 +16,23 @@ type outcome =
                               syscall check *)
   | Exception_detected of string  (** the fault crashed the checker *)
   | Timeout_detected  (** the checker overran the instruction budget *)
+  | Transient_checker_fault of string
+      (** a checker-side failure (carried as its string form) that a
+          re-check on a fresh checker did not reproduce: the fault was
+          in the {e checker}, the main's state is fine, and the run
+          continued without rollback (DESIGN.md §13) *)
+  | Hard_fault of { segment : int; rollbacks : int; last : string }
+      (** the same region of the run detected again right after a
+          rollback, with no new segment verifying in between — a
+          persistent fault that re-execution cannot clear; the run
+          aborts instead of burning [max_recoveries] on a loop *)
   | Benign  (** the run completed with all comparisons passing *)
 
 val mismatch_to_string : mismatch -> string
 val outcome_to_string : outcome -> string
 
 val is_detected : outcome -> bool
-(** Everything except [Benign] counts as detection (exceptions and
-    timeouts are detection subclasses in the paper's Figure 10). *)
+(** Everything except [Benign] and [Transient_checker_fault] counts as
+    detection (exceptions and timeouts are detection subclasses in the
+    paper's Figure 10; a transient checker fault was re-checked clean,
+    so no error escaped and none was charged to the main). *)

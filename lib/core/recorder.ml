@@ -53,12 +53,23 @@ let start_segment t =
       ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt)
   end;
   t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
+  (* Main-side fault arming: the checker fork above predates the
+     corruption, so the checker replays the {e intended} execution and
+     the comparison catches the divergence. A [repeat] plan re-arms at
+     every covered segment start (stuck-at); a one-shot plan covers
+     exactly one segment id, which rollback never reuses. *)
+  (match t.cfg.Config.fault_plan with
+  | Some plan
+    when Fault.targets_main plan && plan_covers plan ~id:(Segment.id seg) ->
+    arm_plan_on_cpu (main_cpu t) plan
+  | Some _ | None -> ());
   arm_slice t
 
 let end_segment t =
   match t.cur with
   | None -> ()
   | Some seg ->
+    latch_main_fault t;
     let end_point = exec_point_now t in
     let insn_delta = Machine.Cpu.instructions (main_cpu t) - t.seg_start_insns in
     let main_dirty, snapshot =
@@ -89,6 +100,24 @@ let end_segment t =
     t.live <- t.live @ [ seg ];
     t.stats.Stats.segments_total <- t.stats.Stats.segments_total + 1;
     t.launch_checker seg
+
+(* SDC oracle input: main's architectural state at the moment of exit,
+   captured before the engine retires the process and frees its address
+   space. Meta-level measurement — charges no simulated time. *)
+let capture_final_state t =
+  let cpu = main_cpu t in
+  t.stats.Stats.final_regs <- Some (Machine.Cpu.snapshot_regs cpu);
+  let pt = page_table_of t t.main in
+  let vpns = Mem.Page_table.mapped_vpns pt in
+  Array.sort compare vpns;
+  let st = Ftr_hash.Xxh64.init () in
+  Array.iter
+    (fun vpn ->
+      Ftr_hash.Xxh64.update_int64 st (Int64.of_int vpn);
+      let bytes = Mem.Page_table.read_bytes_at pt ~vpn in
+      Ftr_hash.Xxh64.update st bytes ~pos:0 ~len:(Bytes.length bytes))
+    vpns;
+  t.stats.Stats.final_mem_hash <- Some (Ftr_hash.Xxh64.digest st)
 
 let on_main_exited t =
   t.main_exited <- true;
@@ -216,6 +245,7 @@ let handle_main_event t ev =
     match call with
     | Sim_os.Syscall.Exit _ ->
       end_segment t;
+      capture_final_state t;
       E.do_syscall t.eng t.main;
       on_main_exited t
     | Sim_os.Syscall.Mmap { flags; fd; _ }
@@ -250,12 +280,32 @@ let handle_main_event t ev =
     | E.Runnable | E.Stopped -> E.resume t.eng t.main)
   | E.Halted ->
     end_segment t;
+    capture_final_state t;
     E.force_exit t.eng t.main ~status:0;
     on_main_exited t
   | E.Fault _ ->
-    (* An application bug in the main process: outside the threat model;
-       terminate the protected run. *)
-    t.abort_run ()
+    latch_main_fault t;
+    let injected =
+      match t.cfg.Config.fault_plan with
+      | Some plan when Fault.targets_main plan ->
+        Machine.Cpu.fault_injected (main_cpu t)
+      | Some _ | None -> false
+    in
+    if injected then begin
+      (* The injected main-side corruption surfaced as a hardware
+         exception before any checker could compare: a fail-stop
+         detection. Record it and roll back if recovery allows. *)
+      (match t.cur with
+      | Some seg ->
+        record_detection t seg
+          (Detection.Exception_detected "main fault (injected corruption)")
+      | None -> ());
+      t.recover_or_abort ()
+    end
+    else
+      (* An application bug in the main process: outside the threat
+         model; terminate the protected run. *)
+      t.abort_run ()
   | E.Breakpoint | E.Branch_overflow ->
     (* Never armed on the main process. *)
     E.resume t.eng t.main

@@ -38,15 +38,24 @@ let close_torn_down_cur t =
         ]
       "segment"
 
+let kill_spare t seg =
+  match Segment.spare seg with
+  | Some sp ->
+    kill_if_alive t sp;
+    Segment.set_spare seg None
+  | None -> ()
+
 (* Kill every process we own; ends the simulation. *)
 let abort_run t =
   t.aborted <- true;
   emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
+  latch_main_fault t;
   List.iter (close_torn_down_check t) t.live;
   close_torn_down_cur t;
   List.iter
     (fun seg ->
       kill_if_alive t (Segment.checker seg);
+      kill_spare t seg;
       (match Segment.snapshot seg with
       | Some snap -> kill_if_alive t snap
       | None -> ());
@@ -55,8 +64,10 @@ let abort_run t =
   (match t.cur with
   | Some seg ->
     kill_if_alive t (Segment.checker seg);
+    kill_spare t seg;
     Segment.tear_down seg
   | None -> ());
+  Hashtbl.reset t.watchdog;
   kill_if_alive t t.main;
   release_recovery_state t
 
@@ -76,7 +87,11 @@ let note_verified t ~id ~snapshot =
         (match t.recovery_point with
         | Some (_, old) -> kill_if_alive t old
         | None -> ());
-        t.recovery_point <- Some (t.verified_prefix, snap')
+        t.recovery_point <- Some (t.verified_prefix, snap');
+        (* The verified prefix moved past the rollback anchor: the
+           re-executed run is making verified progress, so a later
+           detection is a new fault, not the old one persisting. *)
+        t.verified_since_rollback <- true
       | None -> continue_promoting := false
     done
 
@@ -92,12 +107,14 @@ let recover t =
         ("verified_prefix", Obs.Trace.Int t.verified_prefix);
       ]
     "recovery";
+  latch_main_fault t;
   List.iter (close_torn_down_check t) t.live;
   close_torn_down_cur t;
   (* Tear down everything derived from the (possibly corrupt) state. *)
   List.iter
     (fun seg ->
       kill_if_alive t (Segment.checker seg);
+      kill_spare t seg;
       (match Segment.snapshot seg with
       | Some s -> kill_if_alive t s
       | None -> ());
@@ -106,10 +123,12 @@ let recover t =
   (match t.cur with
   | Some seg ->
     kill_if_alive t (Segment.checker seg);
+    kill_spare t seg;
     Segment.tear_down seg
   | None -> ());
   Hashtbl.iter (fun _ snap -> kill_if_alive t snap) t.verified_snapshots;
   Hashtbl.reset t.verified_snapshots;
+  Hashtbl.reset t.watchdog;
   kill_if_alive t t.main;
   t.live <- [];
   t.cur <- None;
@@ -119,8 +138,13 @@ let recover t =
   | None ->
     (* No verified state to return to: give up. *)
     abort_run t
-  | Some (_, snap) ->
+  | Some (anchor_id, snap) ->
     t.recovery_point <- None;
+    (* Arm the persistent-fault classifier: until the verified prefix
+       advances again, a further detection is the same fault coming
+       back (Hard_fault), not something another rollback can fix. *)
+    t.rollback_anchor <- Some anchor_id;
+    t.verified_since_rollback <- false;
     (* Re-anchor the verified prefix at the ids the post-rollback
        segments will get, so promotion resumes seamlessly. *)
     t.verified_prefix <- t.next_id - 1;

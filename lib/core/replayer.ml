@@ -6,19 +6,7 @@
 module E = Sim_os.Engine
 open Run_ctx
 
-let record_error t seg outcome =
-  Stats.record_detection t.stats ~segment:(Segment.id seg) outcome;
-  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
-    ~args:
-      [
-        ("seg", Obs.Trace.Int (Segment.id seg));
-        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
-      ]
-    "detection";
-  (match t.cfg.Config.obs with
-  | None -> ()
-  | Some s -> Obs.Sink.incr s "detections");
-  if t.first_error = None then t.first_error <- Some (Segment.id seg, outcome)
+let record_error = Run_ctx.record_detection
 
 let launch_checker t seg =
   let checker = Segment.checker seg in
@@ -40,16 +28,35 @@ let launch_checker t seg =
          (t.cfg.Config.timeout_scale *. float_of_int r.Segment.insn_delta))
   in
   Machine.Cpu.arm_insn_overflow cpu ~target:timeout;
+  (* Checker-side fault arming. A one-shot plan must not chase the
+     segment onto its re-dispatched checker (the re-check would then
+     re-inject the very fault it is ruling out); a [repeat] plan is
+     stuck-at and re-arms everywhere it applies. Runtime faults are
+     armed by the coordinator's engine tick, not here. *)
   (match t.cfg.Config.fault_plan with
-  | Some { Config.segment; delay_instructions; reg; bit }
-    when segment = Segment.id seg ->
-    Machine.Cpu.arm_fault_injection cpu ~after_instructions:delay_instructions
-      ~reg ~bit
+  | Some plan
+    when Fault.targets_checker plan
+         && plan_covers plan ~id:(Segment.id seg)
+         && (plan.Fault.repeat || Segment.redispatches seg = 0) ->
+    arm_plan_on_cpu cpu plan
   | Some _ | None -> ());
   (* A streaming checker was launched when recording started and may be
      stalled at its next interaction; a Parallaft checker is launched
      here, once its segment is fully recorded. *)
   let was_streaming = Segment.streaming seg <> None in
+  (* Re-check support: fork a pristine spare off the checker before it
+     runs — it IS the segment-start snapshot a re-dispatch needs.
+     Streaming checkers have already executed, so there is nothing
+     pristine to fork and RAFT segments fall through to the normal
+     failure path instead. *)
+  if
+    t.cfg.Config.recheck_on_mismatch && (not was_streaming)
+    && Segment.spare seg = None
+    && Segment.redispatches seg < max 1 t.cfg.Config.watchdog_retries
+  then begin
+    Segment.set_spare seg (Some (E.fork_process t.eng checker));
+    t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1
+  end;
   let was_waiting = Segment.waiting seg in
   let launched_at_ns =
     match Segment.launched_at seg with
@@ -82,7 +89,75 @@ let launch_checker t seg =
        otherwise the syscall retries against the now-complete log. *)
     E.resume t.eng checker
 
-let finish_checker t seg outcome_opt =
+(* Kill the current checker and relaunch the check on the pristine
+   spare. The dying checker's "check" span closes here, before the
+   replacement opens a new one on its own track, so span nesting stays
+   balanced across re-dispatches. *)
+let redispatch_check t seg ~because outcome =
+  let old = Segment.checker seg in
+  let spare =
+    match Segment.spare seg with
+    | Some sp -> sp
+    | None ->
+      raise
+        (Segment.Invariant_violation
+           (Printf.sprintf "segment %d: re-dispatch with no spare"
+              (Segment.id seg)))
+  in
+  (* The old checker may carry the armed/fired injection; latch it
+     before the pid (and its cpu) goes away. *)
+  (match t.cfg.Config.fault_plan with
+  | Some plan
+    when Fault.targets_checker plan && plan_covers plan ~id:(Segment.id seg) ->
+    t.stats.Stats.fi_fired <-
+      t.stats.Stats.fi_fired || Machine.Cpu.fault_injected (E.cpu t.eng old)
+  | Some _ | None -> ());
+  emit_ev t ~track:(Obs.Trace.Proc old) ~phase:Obs.Trace.End
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("outcome", Obs.Trace.Str ("re-dispatched: " ^ because));
+      ]
+    "check";
+  (match Segment.launched_at seg with
+  | Some ns ->
+    observe t "checker.latency_ns" (float_of_int (E.time_ns t.eng - ns))
+  | None -> ());
+  kill_if_alive t old;
+  Scheduler.finished t.sched old;
+  Hashtbl.remove t.roles old;
+  Hashtbl.remove t.watchdog (Segment.id seg);
+  t.stats.Stats.rechecks <- t.stats.Stats.rechecks + 1;
+  (* The first failure in the chain is what a passing re-check
+     resolves; a watchdog retry of an already re-checked segment keeps
+     the original. *)
+  if Segment.recheck_of seg = None then
+    Segment.set_recheck_of seg (Some outcome);
+  Segment.redispatch seg ~checker:spare;
+  Hashtbl.replace t.roles spare (Checker_role seg);
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("trigger", Obs.Trace.Str because);
+        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
+      ]
+    "recheck";
+  (match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.incr s "rechecks");
+  launch_checker t seg
+
+(* May this failure be retried on a fresh checker before it counts as a
+   detection? Bounded by the watchdog retry budget (>= 1 so the plain
+   re-check always gets its one shot); needs the spare the re-check
+   machinery forks at launch. *)
+let can_redispatch t seg =
+  t.cfg.Config.recheck_on_mismatch
+  && Segment.spare seg <> None
+  && Segment.redispatches seg < max 1 t.cfg.Config.watchdog_retries
+
+let really_finish_checker t seg outcome_opt =
   let checker = Segment.checker seg in
   let launched_at_ns =
     match Segment.launched_at seg with Some ns -> ns | None -> 0
@@ -92,33 +167,91 @@ let finish_checker t seg outcome_opt =
   let cpu = E.cpu t.eng checker in
   Machine.Cpu.disarm_insn_overflow cpu;
   Machine.Cpu.disarm_branch_overflow cpu;
+  Machine.Cpu.disarm_fault_injection cpu;
   Machine.Cpu.clear_all_breakpoints cpu;
-  (* Fault-injection classification for this run. *)
+  (* Persistent-fault classification: a detection after a rollback,
+     before the verified prefix has advanced again, means re-execution
+     reproduced the failure — burning the remaining recovery budget on
+     further rollbacks cannot help. *)
+  let outcome_opt =
+    match outcome_opt with
+    | Some o
+      when t.cfg.Config.recovery
+           && t.rollback_anchor <> None
+           && not t.verified_since_rollback ->
+      Some
+        (Detection.Hard_fault
+           {
+             segment = Segment.id seg;
+             rollbacks = t.stats.Stats.recoveries;
+             last = Detection.outcome_to_string o;
+           })
+    | x -> x
+  in
+  (* A passing re-check resolves the original failure as the checker's
+     own: transient, no rollback, the run continues. *)
+  let transient =
+    match (outcome_opt, Segment.recheck_of seg) with
+    | None, Some orig ->
+      Some (Detection.Transient_checker_fault (Detection.outcome_to_string orig))
+    | _ -> None
+  in
+  (* Fault-injection classification for this run (checker-side targets;
+     main-side plans are classified at run level by Runtime). *)
   (match t.cfg.Config.fault_plan with
-  | Some { Config.segment; _ } when segment = Segment.id seg ->
-    t.stats.Stats.fi_fired <- Machine.Cpu.fault_injected cpu;
+  | Some plan
+    when Fault.targets_checker plan && plan_covers plan ~id:(Segment.id seg) ->
+    t.stats.Stats.fi_fired <-
+      t.stats.Stats.fi_fired || Machine.Cpu.fault_injected cpu;
     t.stats.Stats.fi_outcome <-
-      (match outcome_opt with
-      | Some o -> Some o
-      | None -> if t.stats.Stats.fi_fired then Some Detection.Benign else None)
+      (match (outcome_opt, transient) with
+      | Some o, _ -> Some o
+      | None, Some tr -> Some tr
+      | None, None ->
+        if t.stats.Stats.fi_fired then Some Detection.Benign else None)
   | Some _ | None -> ());
+  (match transient with
+  | Some tr ->
+    t.stats.Stats.transient_faults <- t.stats.Stats.transient_faults + 1;
+    emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+      ~args:
+        [
+          ("seg", Obs.Trace.Int (Segment.id seg));
+          ("outcome", Obs.Trace.Str (Detection.outcome_to_string tr));
+        ]
+      "recheck.transient";
+    (match t.cfg.Config.obs with
+    | None -> ()
+    | Some s -> Obs.Sink.incr s "transient_faults")
+  | None -> ());
   (match outcome_opt with
   | Some o -> record_error t seg o
   | None -> ());
+  (match outcome_opt with
+  | Some (Detection.Hard_fault _) ->
+    t.stats.Stats.hard_faults <- t.stats.Stats.hard_faults + 1
+  | Some _ | None -> ());
   emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.End
     ~args:
       [
         ("seg", Obs.Trace.Int (Segment.id seg));
         ( "outcome",
           Obs.Trace.Str
-            (match outcome_opt with
-            | Some o -> Detection.outcome_to_string o
-            | None -> "ok") );
+            (match (outcome_opt, transient) with
+            | Some o, _ -> Detection.outcome_to_string o
+            | None, Some tr -> Detection.outcome_to_string tr
+            | None, None -> "ok") );
       ]
     "check";
   observe t "checker.latency_ns"
     (float_of_int (E.time_ns t.eng - launched_at_ns));
   kill_if_alive t checker;
+  (match Segment.spare seg with
+  | Some sp ->
+    kill_if_alive t sp;
+    Segment.set_spare seg None
+  | None -> ());
+  Hashtbl.remove t.watchdog (Segment.id seg);
   let failed = outcome_opt <> None in
   (if t.cfg.Config.recovery && not failed then
      Recovery.note_verified t ~id:(Segment.id seg) ~snapshot
@@ -129,11 +262,17 @@ let finish_checker t seg outcome_opt =
   t.live <- List.filter (fun s -> Segment.id s <> Segment.id seg) t.live;
   Scheduler.finished t.sched checker;
   if failed then begin
-    if
-      t.cfg.Config.recovery
-      && t.stats.Stats.recoveries < t.cfg.Config.max_recoveries
-    then Recovery.recover t
-    else Recovery.abort_run t
+    match outcome_opt with
+    | Some (Detection.Hard_fault _) ->
+      (* Structured diagnostics (segment, rollbacks, last outcome) are
+         already in the recorded outcome; stop burning the budget. *)
+      Recovery.abort_run t
+    | _ ->
+      if
+        t.cfg.Config.recovery
+        && t.stats.Stats.recoveries < t.cfg.Config.max_recoveries
+      then Recovery.recover t
+      else Recovery.abort_run t
   end
   else if t.main_exited && t.cur = None && t.live = [] then
     (* The last checker verified after a clean main exit: the run is
@@ -147,6 +286,15 @@ let finish_checker t seg outcome_opt =
     Scheduler.set_main_held t.sched false;
     Recorder.do_boundary t
   end
+
+(* Every checker-side failure funnels through here: if the re-check
+   machinery can still retry it on a fresh checker, it is not yet a
+   detection. *)
+let finish_checker t seg outcome_opt =
+  match outcome_opt with
+  | Some o when can_redispatch t seg ->
+    redispatch_check t seg ~because:"checker-side failure" o
+  | _ -> really_finish_checker t seg outcome_opt
 
 let reached_end t seg =
   let c = Segment.checking seg in

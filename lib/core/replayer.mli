@@ -5,14 +5,30 @@
     against the checker's interactions, drives it to the recorded
     execution points (§4.2), runs the program-state comparison at the
     segment end, and classifies any divergence. A failed check is
-    handed to {!Recovery} (rollback or abort); a completing segment may
-    release a main process held on [max_live_segments] back through
-    {!Recorder.do_boundary}. *)
+    handed to {!Recovery} (rollback or abort) — unless the re-check
+    extension can still retry it on a fresh checker (DESIGN.md §13); a
+    completing segment may release a main process held on
+    [max_live_segments] back through {!Recorder.do_boundary}. *)
+
+val record_error : Run_ctx.t -> Segment.t -> Detection.outcome -> unit
+(** Record a detection against a segment (stats, trace event, first-error
+    latch) without retiring any checker. Used by the watchdog for
+    segments whose checker died before the check could even launch. *)
 
 val launch_checker : Run_ctx.t -> Segment.t -> unit
 (** Arm and (for Parallaft) schedule the checker of a segment in
     [Awaiting_launch]; transitions it to [Checking]. For a RAFT
     streaming checker — launched when recording started — this only
-    arms the replay targets and wakes the checker if it was stalled. *)
+    arms the replay targets and wakes the checker if it was stalled.
+    When {!Config.t.recheck_on_mismatch} is on, also forks the pristine
+    spare a later re-dispatch would launch from. *)
+
+val finish_checker : Run_ctx.t -> Segment.t -> Detection.outcome option -> unit
+(** Retire a check with its outcome ([None] = verified). A failure is
+    re-dispatched onto the spare when the re-check machinery still has
+    budget; otherwise it is recorded (possibly reclassified
+    {!Detection.Hard_fault} right after a rollback) and answered with
+    rollback or abort. Exposed for the watchdog, which must fail or
+    retry checks the event loop will never hear from again. *)
 
 val handle_checker_event : Run_ctx.t -> Segment.t -> Sim_os.Engine.event -> unit

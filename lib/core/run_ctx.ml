@@ -37,6 +37,14 @@ type t = {
   mutable recovery_point : (int * E.pid) option;
   verified_snapshots : (int, E.pid) Hashtbl.t;
   mutable verified_prefix : int;  (* all segment ids <= this verified *)
+  (* Hard-fault classification (DESIGN.md §13): a detection arriving
+     after a rollback, before the verified prefix advances past the
+     rollback anchor, means re-execution did not clear the fault. *)
+  mutable rollback_anchor : int option;
+  mutable verified_since_rollback : bool;
+  (* Watchdog progress ledger: segment id -> (retired instructions at
+     the last observed progress, sim time of that observation). *)
+  watchdog : (int, int * int) Hashtbl.t;
   mutable all_segments : Segment.t list;
       (* newest first; retained only under cfg.check_invariants, for
          {!Coordinator.segment_histories} *)
@@ -46,6 +54,16 @@ type t = {
      replayer tear the run down through recovery (abort_run). *)
   mutable launch_checker : Segment.t -> unit;
   mutable abort_run : unit -> unit;
+  (* Recover if the recovery extension is on and the budget allows,
+     abort otherwise. The recorder needs this response to an injected
+     main-side fault surfacing as a hardware exception, but sits below
+     Recovery in the module order. *)
+  mutable recover_or_abort : unit -> unit;
+  (* Wired by Coordinator.create when the plan is a runtime fault
+     (kill/stall); a no-op otherwise. Called both from the periodic
+     engine tick and after every routed tracer event — short checks can
+     start and retire entirely between two ticks. *)
+  mutable runtime_fault_poll : unit -> unit;
 }
 
 let unwired _ =
@@ -81,9 +99,14 @@ let create eng cfg =
     recovery_point = None;
     verified_snapshots = Hashtbl.create 8;
     verified_prefix = -1;
+    rollback_anchor = None;
+    verified_since_rollback = false;
+    watchdog = Hashtbl.create 8;
     all_segments = [];
     launch_checker = unwired;
     abort_run = (fun () -> unwired ());
+    recover_or_abort = (fun () -> unwired ());
+    runtime_fault_poll = (fun () -> ());
   }
 
 let plat t = E.platform t.eng
@@ -96,6 +119,24 @@ let emit_ev t ~track ~phase ?args name =
   match t.cfg.Config.obs with
   | None -> ()
   | Some s -> Obs.Sink.emit s ~ts_ns:(E.time_ns t.eng) ~track ~phase ?args name
+
+(* Record a detection against a segment: stats, trace event, sink
+   counter, first-error latch. Shared by the replayer (comparison
+   mismatches), the watchdog (dead/stalled checkers) and the recorder
+   (injected main faults surfacing as exceptions). *)
+let record_detection t seg outcome =
+  Stats.record_detection t.stats ~segment:(Segment.id seg) outcome;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("outcome", Obs.Trace.Str (Detection.outcome_to_string outcome));
+      ]
+    "detection";
+  (match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.incr s "detections");
+  if t.first_error = None then t.first_error <- Some (Segment.id seg, outcome)
 
 let observe t name v =
   match t.cfg.Config.obs with
@@ -149,6 +190,37 @@ let kill_if_alive t pid =
 
 let live_count t = List.length t.live
 
+(* ------------------------------------------------------------------ *)
+(* Fault-plan plumbing (lib/fault): which segments a plan covers, and
+   how each target class is armed. Runtime faults are armed at the
+   engine level (a tick registered by the coordinator), so they are a
+   no-op here. *)
+
+let plan_covers (plan : Fault.plan) ~id =
+  id = plan.Fault.segment || (plan.Fault.repeat && id > plan.Fault.segment)
+
+let arm_plan_on_cpu cpu (plan : Fault.plan) =
+  match plan.Fault.target with
+  | Fault.Checker_register { reg; bit } | Fault.Main_register { reg; bit } ->
+    Machine.Cpu.arm_fault_injection cpu
+      ~after_instructions:plan.Fault.delay_instructions ~reg ~bit
+  | Fault.Checker_memory_page { page_index; bit }
+  | Fault.Main_memory_page { page_index; bit } ->
+    Machine.Cpu.arm_memory_fault_injection cpu
+      ~after_instructions:plan.Fault.delay_instructions ~page_index ~bit
+  | Fault.Runtime_fault _ -> ()
+
+(* Record that a main-targeted fault has fired. Called at every point
+   where the main process (or its armed cpu) may be replaced or
+   destroyed — segment boundaries, exit, rollback, abort — so the
+   campaign's "landed" accounting survives the pid changing hands. *)
+let latch_main_fault t =
+  match t.cfg.Config.fault_plan with
+  | Some plan when Fault.targets_main plan ->
+    if Machine.Cpu.fault_injected (E.cpu t.eng t.main) then
+      t.stats.Stats.fi_fired <- true
+  | Some _ | None -> ()
+
 (* Free the recovery-point snapshot and any verified-but-unpromoted
    snapshots: on clean completion there is nothing left to recover, and
    on abort the run is over — either way, leaving them alive leaks
@@ -197,11 +269,22 @@ let check_invariants t =
         | Some Main_role | None ->
           violation "roles table lost checker %d of segment %d"
             (Segment.checker s) (Segment.id s));
-        match E.state t.eng (Segment.checker s) with
+        (match E.state t.eng (Segment.checker s) with
         | E.Exited _ ->
           violation "checker %d of tracked segment %d has exited"
             (Segment.checker s) (Segment.id s)
-        | E.Runnable | E.Stopped -> ())
+        | E.Runnable | E.Stopped -> ());
+        match Segment.spare s with
+        | None -> ()
+        | Some sp ->
+          (match E.state t.eng sp with
+          | E.Exited _ ->
+            violation "spare %d of segment %d has exited" sp (Segment.id s)
+          | E.Runnable | E.Stopped -> ());
+          (match Hashtbl.find_opt t.roles sp with
+          | Some _ ->
+            violation "spare %d of segment %d holds a role" sp (Segment.id s)
+          | None -> ()))
       tracked;
     (match Hashtbl.find_opt t.roles t.main with
     | Some Main_role -> ()

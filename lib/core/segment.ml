@@ -29,6 +29,9 @@ type checking = {
   cursor : Rr_log.cursor;
   replay : Exec_point.replay;
   mutable pending_signals : (Exec_point.t * Sim_os.Sig_num.t) list;
+  end_point : Exec_point.t;
+      (* retained from the recorded payload so a re-dispatch can rebuild
+         the replay plan from scratch *)
   insn_delta : int;
   main_dirty : int array;
   snapshot : E.pid option;
@@ -61,7 +64,16 @@ let phase_to_string = function
 
 type t = {
   id : int;
-  checker : E.pid;
+  mutable checker : E.pid;
+      (* replaced when a re-check/watchdog re-dispatch promotes the
+         spare; the roles table is re-keyed by the caller *)
+  mutable spare : E.pid option;
+      (* pristine fork taken just before the checker first runs; the
+         fresh checker a re-dispatch launches from *)
+  mutable redispatches : int;
+  mutable recheck_of : Detection.outcome option;
+      (* the failure that triggered the current re-check; a passing
+         re-check resolves it as Transient_checker_fault *)
   mutable state : state;
   mutable history : phase list;  (** oldest first, starting [Recording_p] *)
   mutable torn_down : bool;
@@ -69,6 +81,10 @@ type t = {
 
 let id t = t.id
 let checker t = t.checker
+let spare t = t.spare
+let set_spare t pid = t.spare <- pid
+let redispatches t = t.redispatches
+let recheck_of t = t.recheck_of
 let state t = t.state
 let phase t = phase_of_state t.state
 let history t = t.history
@@ -77,12 +93,16 @@ let torn_down t = t.torn_down
 (* The paper's pipeline (figure 1(b)): record, hand over, replay, retire.
    [Recording_p -> Done_p] is the one shortcut: a RAFT streaming checker
    that dies (fault, timeout, divergence) while its segment is still
-   being recorded is retired straight from the record phase. *)
+   being recorded is retired straight from the record phase.
+   [Checking_p -> Awaiting_launch_p] is the re-dispatch loop (DESIGN.md
+   §13): a failed or watchdog-killed check returns to the launch queue
+   on a fresh checker forked from the segment's start snapshot. *)
 let legal_transition ~from ~into =
   match (from, into) with
   | Recording_p, Awaiting_launch_p
   | Awaiting_launch_p, Checking_p
   | Checking_p, Done_p
+  | Checking_p, Awaiting_launch_p
   | Recording_p, Done_p ->
     true
   | _, _ -> false
@@ -108,6 +128,9 @@ let create ~id ~checker =
   {
     id;
     checker;
+    spare = None;
+    redispatches = 0;
+    recheck_of = None;
     state = Recording { log = Rr_log.create (); streaming = None };
     history = [ Recording_p ];
     torn_down = false;
@@ -155,6 +178,7 @@ let begin_checking t ~replay ~pending_signals ~launched_at_ns =
            cursor;
            replay;
            pending_signals;
+           end_point = r.end_point;
            insn_delta = r.insn_delta;
            main_dirty = r.main_dirty;
            snapshot = r.snapshot;
@@ -163,6 +187,34 @@ let begin_checking t ~replay ~pending_signals ~launched_at_ns =
   | Recording _ | Checking _ | Done ->
     violation "segment %d: begin_checking in state %s" t.id
       (phase_to_string (phase t))
+
+(* Return a failed/killed check to the launch queue on a fresh checker
+   (the caller promotes the spare and re-keys the roles table). The
+   recorded payload is rebuilt from the checking state; the log cursor
+   and replay plan are recreated from scratch at the next launch, and a
+   re-dispatched check never streams (its checker starts from the
+   segment's start state with the log already complete). *)
+let redispatch t ~checker =
+  match t.state with
+  | Checking c ->
+    t.checker <- checker;
+    t.spare <- None;
+    t.redispatches <- t.redispatches + 1;
+    transition t
+      (Awaiting_launch
+         {
+           log = c.log;
+           end_point = c.end_point;
+           insn_delta = c.insn_delta;
+           main_dirty = c.main_dirty;
+           snapshot = c.snapshot;
+           streaming = None;
+         })
+  | Recording _ | Awaiting_launch _ | Done ->
+    violation "segment %d: redispatch in state %s" t.id
+      (phase_to_string (phase t))
+
+let set_recheck_of t outcome = t.recheck_of <- outcome
 
 let complete t =
   match t.state with

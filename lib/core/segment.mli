@@ -4,7 +4,9 @@
 
     {v
       Recording ──────────► Awaiting_launch ─────► Checking ───► Done
-          │    finish_recording        begin_checking    complete  ▲
+          │    finish_recording     ▲  begin_checking │  complete  ▲
+          │                         └─────────────────┘            │
+          │                     redispatch (re-check/watchdog)     │
           └────────────────────────────────────────────────────────┘
             complete (RAFT streaming checker dies mid-record)
     v}
@@ -50,6 +52,8 @@ type checking = {
   cursor : Rr_log.cursor;
   replay : Exec_point.replay;
   mutable pending_signals : (Exec_point.t * Sim_os.Sig_num.t) list;
+  end_point : Exec_point.t;
+      (** retained so {!redispatch} can rebuild the replay plan *)
   insn_delta : int;
   main_dirty : int array;
   snapshot : Sim_os.Engine.pid option;
@@ -82,7 +86,26 @@ val create : id:int -> checker:Sim_os.Engine.pid -> t
 (** A fresh segment in [Recording] with an empty log. *)
 
 val id : t -> int
+
 val checker : t -> Sim_os.Engine.pid
+(** The current checker — replaced by {!redispatch} when a re-check or
+    the watchdog promotes the spare. *)
+
+val spare : t -> Sim_os.Engine.pid option
+(** A pristine fork of the checker taken just before it first ran
+    (only when {!Config.t.recheck_on_mismatch} is on): the
+    segment-start snapshot a re-dispatch launches from. *)
+
+val set_spare : t -> Sim_os.Engine.pid option -> unit
+
+val redispatches : t -> int
+(** How many times this segment's check was re-dispatched. *)
+
+val recheck_of : t -> Detection.outcome option
+(** The checker-side failure the current check is re-checking; a pass
+    resolves it as {!Detection.Transient_checker_fault}. *)
+
+val set_recheck_of : t -> Detection.outcome option -> unit
 val state : t -> state
 val phase : t -> phase
 
@@ -121,6 +144,13 @@ val begin_checking :
 val complete : t -> unit
 (** [Checking -> Done], or [Recording -> Done] for a streaming checker
     that died mid-record. *)
+
+val redispatch : t -> checker:Sim_os.Engine.pid -> unit
+(** [Checking -> Awaiting_launch]: return a failed or watchdog-killed
+    check to the launch queue on a fresh [checker] (the promoted
+    spare). Clears the spare, bumps {!redispatches}; the caller re-keys
+    the roles table and relaunches. A re-dispatched check never
+    streams. *)
 
 val tear_down : t -> unit
 (** Mark the segment discarded (rollback/abort); not a transition. *)

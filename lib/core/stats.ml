@@ -23,6 +23,12 @@ type t = {
   mutable fi_fired : bool;
   mutable segment_insn_deltas : int list;
   mutable recoveries : int;
+  mutable rechecks : int;
+  mutable transient_faults : int;
+  mutable watchdog_kills : int;
+  mutable hard_faults : int;
+  mutable final_regs : int array option;
+  mutable final_mem_hash : int64 option;
 }
 
 let create () =
@@ -51,7 +57,25 @@ let create () =
     fi_fired = false;
     segment_insn_deltas = [];
     recoveries = 0;
+    rechecks = 0;
+    transient_faults = 0;
+    watchdog_kills = 0;
+    hard_faults = 0;
+    final_regs = None;
+    final_mem_hash = None;
   }
+
+(* One digest over the main process's final architectural state
+   (register file folded with the memory image hash), for the SDC
+   oracle: two runs ending in the same state produce the same value. *)
+let final_state_hash t =
+  match (t.final_regs, t.final_mem_hash) with
+  | None, _ | _, None -> None
+  | Some regs, Some mem ->
+    let st = Ftr_hash.Xxh64.init () in
+    Array.iter (fun r -> Ftr_hash.Xxh64.update_int64 st (Int64.of_int r)) regs;
+    Ftr_hash.Xxh64.update_int64 st mem;
+    Some (Ftr_hash.Xxh64.digest st)
 
 let record_detection t ~segment outcome =
   t.detections <- (segment, outcome) :: t.detections
@@ -88,4 +112,12 @@ let to_assoc t =
       Printf.sprintf "%.3f" (big_core_work_fraction t) );
     ("detections", string_of_int (List.length t.detections));
     ("recovery.rollbacks", string_of_int t.recoveries);
+    ("recovery.hard_faults", string_of_int t.hard_faults);
+    ("recheck.dispatched", string_of_int t.rechecks);
+    ("recheck.transient_faults", string_of_int t.transient_faults);
+    ("watchdog.kills", string_of_int t.watchdog_kills);
+    ( "final.state_hash",
+      match final_state_hash t with
+      | None -> "none"
+      | Some h -> Printf.sprintf "%016Lx" h );
   ]

@@ -38,6 +38,23 @@ type t = {
   mutable segment_insn_deltas : int list;  (** newest first *)
   mutable recoveries : int;
       (** rollbacks performed by the recovery extension *)
+  mutable rechecks : int;
+      (** checks re-dispatched onto a fresh checker (re-check on
+          mismatch, or a watchdog kill with retries left) *)
+  mutable transient_faults : int;
+      (** re-checks that passed: the original failure was the checker's,
+          classified {!Detection.Transient_checker_fault}; no rollback *)
+  mutable watchdog_kills : int;
+      (** checkers the watchdog declared dead or stalled *)
+  mutable hard_faults : int;
+      (** detections re-observed after a rollback with no verified
+          progress, classified {!Detection.Hard_fault}; aborts the run *)
+  mutable final_regs : int array option;
+      (** main's register file at exit, captured before the engine frees
+          the process (SDC oracle + rollback-exactness tests) *)
+  mutable final_mem_hash : int64 option;
+      (** digest of main's full memory image at exit (vpn + page bytes,
+          ascending vpn order) *)
 }
 
 val create : unit -> t
@@ -49,6 +66,11 @@ val detections_oldest_first : t -> (int * Detection.outcome) list
 (** The [detections] field in chronological order — the single place the
     newest-first storage order is reversed. [Runtime.report.detections]
     (documented oldest-first) is built with this. *)
+
+val final_state_hash : t -> int64 option
+(** Single digest over [final_regs] + [final_mem_hash]; [None] until the
+    main process exits. Byte-identical final states hash equal, which is
+    what the SDC oracle compares across faulted and fault-free runs. *)
 
 val big_core_work_fraction : t -> float
 (** Fraction of checker CPU time spent on big cores (the §5.2.1 "41.7%

@@ -1,0 +1,94 @@
+(* Checker watchdog (DESIGN.md §13): engine-level progress supervision
+   of checking checkers, distinct from the instruction-budget timeout —
+   that budget only fires while the checker is *executing*, so a
+   checker that dies (runtime kill fault) or stops making progress
+   while holding a core (stall fault, livelock) would otherwise hang
+   the run until the engine's global hang bound.
+
+   Polled from Coordinator.handle_event after every routed event —
+   before the invariant sweep, so a dead checker is re-dispatched or
+   failed before the sweep would flag it — and from a periodic engine
+   tick for the no-events case (a stalled checker generates none). *)
+
+module E = Sim_os.Engine
+open Run_ctx
+
+let note_kill t seg ~reason =
+  t.stats.Stats.watchdog_kills <- t.stats.Stats.watchdog_kills + 1;
+  emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
+    ~args:
+      [
+        ("seg", Obs.Trace.Int (Segment.id seg));
+        ("checker", Obs.Trace.Int (Segment.checker seg));
+        ("reason", Obs.Trace.Str reason);
+      ]
+    "watchdog.kill";
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.incr s "watchdog_kills"
+
+let respond t seg ~reason =
+  note_kill t seg ~reason;
+  (* The funnel re-dispatches onto the spare while the retry budget
+     lasts, and records a detection (rollback or abort) once it runs
+     out. finish_checker tolerates an already-exited checker. *)
+  Replayer.finish_checker t seg (Some (Detection.Exception_detected reason))
+
+(* A checker that dies before its check even launches (still recording,
+   or queued awaiting launch) has no spare to retry on — spares are
+   forked at launch — so the segment can never be verified. Straight to
+   the recover-or-abort response. *)
+let fail_unlaunched t seg ~reason =
+  note_kill t seg ~reason;
+  Replayer.record_error t seg (Detection.Exception_detected reason);
+  t.recover_or_abort ()
+
+(* One supervised segment. Dead checkers are handled unconditionally;
+   stall detection needs a positive budget and skips checkers that are
+   legitimately not running: queued behind busy cores, or a streaming
+   checker waiting for the recorder to catch up. *)
+let poll_segment t seg =
+  let checker = Segment.checker seg in
+  match E.state t.eng checker with
+  | E.Exited _ -> respond t seg ~reason:"checker died (watchdog)"
+  | E.Runnable | E.Stopped ->
+    if t.cfg.Config.watchdog_stall_ns > 0 then begin
+      let id = Segment.id seg in
+      let now = E.now_ns t.eng in
+      let insns = Machine.Cpu.instructions (E.cpu t.eng checker) in
+      let excused =
+        Segment.waiting seg
+        || List.mem checker (Scheduler.queued_pids t.sched)
+      in
+      match Hashtbl.find_opt t.watchdog id with
+      | Some (last_insns, _) when insns > last_insns || excused ->
+        Hashtbl.replace t.watchdog id (insns, now)
+      | Some (_, since) when now - since > t.cfg.Config.watchdog_stall_ns ->
+        respond t seg ~reason:"checker stalled (watchdog)"
+      | Some _ -> ()
+      | None -> Hashtbl.replace t.watchdog id (insns, now)
+    end
+
+let poll_one t seg =
+  match Segment.phase seg with
+  | Segment.Checking_p -> poll_segment t seg
+  | Segment.Recording_p | Segment.Awaiting_launch_p -> (
+    match E.state t.eng (Segment.checker seg) with
+    | E.Exited _ ->
+      fail_unlaunched t seg ~reason:"checker died before launch (watchdog)"
+    | E.Runnable | E.Stopped -> ())
+  | Segment.Done_p -> ()
+
+let poll t =
+  if not t.aborted then begin
+    List.iter
+      (fun seg ->
+        (* Guards re-evaluated per segment: an earlier response in this
+           sweep may have rolled back or aborted the whole run. *)
+        if (not t.aborted) && not (Segment.torn_down seg) then poll_one t seg)
+      t.live;
+    match t.cur with
+    | Some seg when (not t.aborted) && not (Segment.torn_down seg) ->
+      poll_one t seg
+    | Some _ | None -> ()
+  end

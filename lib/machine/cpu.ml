@@ -56,10 +56,13 @@ type t = {
   mutable nondet_trap : bool;
   (* fault injection *)
   mutable inject_countdown : int; (* -1 = disarmed *)
-  mutable inject_reg : int;
-  mutable inject_bit : int;
+  mutable inject_target : inject_target;
   mutable injected : bool;
 }
+
+and inject_target =
+  | Inject_reg of { reg : int; bit : int }
+  | Inject_mem of { page_index : int; bit : int }
 
 let create ?(max_skid = 6) ?(max_insn_overcount = 3) ~rng ~program ~aspace () =
   {
@@ -82,8 +85,7 @@ let create ?(max_skid = 6) ?(max_insn_overcount = 3) ~rng ~program ~aspace () =
     bp_resume_pc = -1;
     nondet_trap = false;
     inject_countdown = -1;
-    inject_reg = 0;
-    inject_bit = 0;
+    inject_target = Inject_reg { reg = 0; bit = 0 };
     injected = false;
   }
 
@@ -136,18 +138,54 @@ let clear_all_breakpoints t =
 
 let set_nondet_trap t b = t.nondet_trap <- b
 
-let arm_fault_injection t ~after_instructions ~reg ~bit =
-  if reg < 0 || reg >= Isa.Insn.num_regs then
-    invalid_arg "Cpu.arm_fault_injection: bad register";
-  if bit < 0 || bit > 62 then invalid_arg "Cpu.arm_fault_injection: bad bit";
+let arm_injection t ~after_instructions target =
   if after_instructions < 0 then
     invalid_arg "Cpu.arm_fault_injection: negative delay";
   t.inject_countdown <- after_instructions;
-  t.inject_reg <- reg;
-  t.inject_bit <- bit;
+  t.inject_target <- target;
   t.injected <- false
 
+let arm_fault_injection t ~after_instructions ~reg ~bit =
+  if reg < 0 || reg >= Isa.Insn.num_regs then
+    invalid_arg "Cpu.arm_fault_injection: bad register";
+  if bit < 0 || bit > 63 then invalid_arg "Cpu.arm_fault_injection: bad bit";
+  arm_injection t ~after_instructions (Inject_reg { reg; bit })
+
+let arm_memory_fault_injection t ~after_instructions ~page_index ~bit =
+  if page_index < 0 then
+    invalid_arg "Cpu.arm_memory_fault_injection: negative page index";
+  if bit < 0 || bit > 63 then
+    invalid_arg "Cpu.arm_memory_fault_injection: bad bit";
+  arm_injection t ~after_instructions (Inject_mem { page_index; bit })
+
+let disarm_fault_injection t = t.inject_countdown <- -1
 let fault_injected t = t.injected
+
+(* Fire the armed injection. Registers are the ISA's 63-bit native ints
+   (Shl zeroes shifts past 62), so bit 63 of a register does not exist
+   architecturally: the flip is masked to a no-op but still counts as
+   injected (the fault landed in a bit the core never reads). Memory
+   flips go through the normal store path, so they break COW and mark
+   the page dirty like any wrong-value store; a flip landing on a
+   write-protected page is likewise masked. *)
+let fire_injection t =
+  (match t.inject_target with
+  | Inject_reg { reg; bit } ->
+    if bit <= 62 then t.regs.(reg) <- t.regs.(reg) lxor (1 lsl bit)
+  | Inject_mem { page_index; bit } -> (
+    let pt = Mem.Address_space.page_table t.aspace in
+    let vpns = Mem.Page_table.mapped_vpns pt in
+    let n = Array.length vpns in
+    if n > 0 then
+      let vpn = vpns.(page_index mod n) in
+      let addr =
+        (vpn * Mem.Address_space.page_size t.aspace) + (bit lsr 3)
+      in
+      try
+        let b = Mem.Address_space.load8 t.aspace addr in
+        Mem.Address_space.store8 t.aspace addr (b lxor (1 lsl (bit land 7)))
+      with Mem.Address_space.Segfault _ -> ()));
+  t.injected <- true
 
 (* A trap perturbs the retired-instruction counter (interrupt-return
    overcounting, as on real hardware). *)
@@ -327,10 +365,7 @@ let run t ~env ~max_cycles =
         (* Retire. *)
         t.instructions <- t.instructions + 1;
         if t.inject_countdown >= 0 then begin
-          if t.inject_countdown = 0 then begin
-            regs.(t.inject_reg) <- regs.(t.inject_reg) lxor (1 lsl t.inject_bit);
-            t.injected <- true
-          end;
+          if t.inject_countdown = 0 then fire_injection t;
           t.inject_countdown <- t.inject_countdown - 1
         end;
         if t.overflow_armed && t.branches >= t.overflow_trap_at then begin

@@ -156,10 +156,27 @@ val set_nondet_trap : t -> bool -> unit
 (** {2 Fault injection} *)
 
 val arm_fault_injection : t -> after_instructions:int -> reg:int -> bit:int -> unit
-(** Silently flip [bit] (0-62) of register [reg] after a further
-    [after_instructions] retired instructions.
+(** Silently flip [bit] (0-63) of register [reg] after a further
+    [after_instructions] retired instructions. Registers are the ISA's
+    63-bit native ints, so a bit-63 flip is architecturally masked (a
+    no-op that still counts as {!fault_injected} — the fault landed in
+    a bit the core never reads).
 
     @raise Invalid_argument on an out-of-range register or bit. *)
+
+val arm_memory_fault_injection :
+  t -> after_instructions:int -> page_index:int -> bit:int -> unit
+(** Like {!arm_fault_injection}, but the flip lands in memory: [bit]
+    (0-63) of the first word of the [page_index]-th mapped page (mod
+    the mapped-page count) of this CPU's address space. The flip goes
+    through the normal store path, so it breaks COW and marks the page
+    dirty like any wrong-value store; a flip landing on a
+    write-protected page is masked. Re-arming replaces any armed
+    injection (the port holds one fault at a time).
+
+    @raise Invalid_argument on an out-of-range page index or bit. *)
+
+val disarm_fault_injection : t -> unit
 
 val fault_injected : t -> bool
 (** Whether an armed injection has fired. *)

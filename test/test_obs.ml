@@ -27,7 +27,8 @@ let contains ~needle hay =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   nl = 0 || go 0
 
-let run_with_sink ?fault_plan ?(recovery = false) ?(seed = 42L) () =
+let run_with_sink ?fault_plan ?(recovery = false) ?(recheck = false)
+    ?(seed = 42L) () =
   let sink = Obs.Sink.create () in
   let config =
     {
@@ -35,6 +36,7 @@ let run_with_sink ?fault_plan ?(recovery = false) ?(seed = 42L) () =
       Parallaft.Config.obs = Some sink;
       fault_plan;
       recovery;
+      recheck_on_mismatch = recheck;
     }
   in
   let program = busy_program () in
@@ -160,7 +162,7 @@ let test_trace_contains_lifecycle_events () =
 
 let test_trace_contains_detection () =
   let fault_plan =
-    { Parallaft.Config.segment = 0; delay_instructions = 50; reg = 13; bit = 7 }
+    Fault.checker_register ~segment:0 ~delay_instructions:50 ~reg:13 ~bit:7
   in
   let r, sink = run_with_sink ~fault_plan () in
   ignore r;
@@ -339,7 +341,7 @@ let has_torn_down sink =
     (Obs.Trace.events sink.Obs.Sink.trace)
 
 let teardown_fault_plan =
-  { Parallaft.Config.segment = 1; delay_instructions = 60; reg = 13; bit = 6 }
+  Fault.checker_register ~segment:1 ~delay_instructions:60 ~reg:13 ~bit:6
 
 let test_abort_closes_spans () =
   let r, sink = run_with_sink ~fault_plan:teardown_fault_plan () in
@@ -356,6 +358,37 @@ let test_recovery_closes_spans () =
   Alcotest.(check bool) "run not aborted" false r.Parallaft.Runtime.aborted;
   assert_spans_balanced sink;
   Alcotest.(check bool) "torn-down close emitted" true (has_torn_down sink)
+
+let test_recheck_spans_balanced () =
+  (* A re-dispatched check moves the segment onto the spare checker's
+     track mid-flight: the dying checker's "check" Begin must close
+     (outcome "re-dispatched: ...") before the spare opens its own, or
+     the trace ends with a dangling span on the old track. *)
+  let r, sink = run_with_sink ~fault_plan:teardown_fault_plan ~recheck:true () in
+  Alcotest.(check bool) "re-check dispatched" true
+    (r.Parallaft.Runtime.stats.Parallaft.Stats.rechecks >= 1);
+  Alcotest.(check bool) "resolved transient, run completed" true
+    (r.Parallaft.Runtime.stats.Parallaft.Stats.transient_faults >= 1
+    && r.Parallaft.Runtime.exit_status = Some 0);
+  assert_spans_balanced sink;
+  let names = event_names sink in
+  Alcotest.(check bool) "recheck event present" true (List.mem "recheck" names);
+  Alcotest.(check bool) "transient resolution event present" true
+    (List.mem "recheck.transient" names);
+  Alcotest.(check bool) "re-dispatch closed the old span" true
+    (List.exists
+       (fun e ->
+         e.Obs.Trace.name = "check"
+         && e.Obs.Trace.phase = Obs.Trace.End
+         && List.exists
+              (fun (k, v) ->
+                k = "outcome"
+                &&
+                match v with
+                | Obs.Trace.Str s -> contains ~needle:"re-dispatched" s
+                | _ -> false)
+              e.Obs.Trace.args)
+       (Obs.Trace.events sink.Obs.Sink.trace))
 
 (* {2 Detection ordering contract} *)
 
@@ -467,6 +500,8 @@ let () =
             test_abort_closes_spans;
           Alcotest.test_case "recovery closes open spans" `Quick
             test_recovery_closes_spans;
+          Alcotest.test_case "re-dispatched check keeps spans balanced" `Quick
+            test_recheck_spans_balanced;
         ] );
       ( "stats",
         [

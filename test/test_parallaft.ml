@@ -150,7 +150,7 @@ let test_fault_injection_detected () =
       (parallaft_cfg ~slice_period:20_000 ()) with
       Parallaft.Config.fault_plan =
         Some
-          { Parallaft.Config.segment = 0; delay_instructions = 50; reg = 13; bit = 7 };
+          (Fault.checker_register ~segment:0 ~delay_instructions:50 ~reg:13 ~bit:7);
     }
   in
   let r = run_protected ~config program in
@@ -175,7 +175,7 @@ let test_fault_injection_dead_register_benign () =
       (parallaft_cfg ~slice_period:20_000 ()) with
       Parallaft.Config.fault_plan =
         Some
-          { Parallaft.Config.segment = 0; delay_instructions = 57; reg = 10; bit = 3 };
+          (Fault.checker_register ~segment:0 ~delay_instructions:57 ~reg:10 ~bit:3);
     }
   in
   let r = run_protected ~config program in
@@ -197,7 +197,7 @@ let test_fault_injection_timeout_or_exception () =
       (parallaft_cfg ~slice_period:20_000 ()) with
       Parallaft.Config.fault_plan =
         Some
-          { Parallaft.Config.segment = 1; delay_instructions = 99; reg = 11; bit = 30 };
+          (Fault.checker_register ~segment:1 ~delay_instructions:99 ~reg:11 ~bit:30);
     }
   in
   let r = run_protected ~config program in
@@ -221,12 +221,8 @@ let test_all_register_flips_classified () =
         (parallaft_cfg ~slice_period:20_000 ()) with
         Parallaft.Config.fault_plan =
           Some
-            {
-              Parallaft.Config.segment = 0;
-              delay_instructions = 40 + reg;
-              reg;
-              bit = reg mod 8;
-            };
+            (Fault.checker_register ~segment:0
+               ~delay_instructions:(40 + reg) ~reg ~bit:(reg mod 8));
       }
     in
     let r = run_protected ~seed:77L ~config program in
@@ -415,7 +411,7 @@ let test_recovery_rolls_back_and_completes () =
       Parallaft.Config.recovery = true;
       fault_plan =
         Some
-          { Parallaft.Config.segment = 1; delay_instructions = 60; reg = 13; bit = 6 };
+          (Fault.checker_register ~segment:1 ~delay_instructions:60 ~reg:13 ~bit:6);
     }
   in
   let r = run_protected ~config program in
@@ -436,7 +432,7 @@ let test_recovery_disabled_aborts () =
       (parallaft_cfg ~slice_period:20_000 ()) with
       Parallaft.Config.fault_plan =
         Some
-          { Parallaft.Config.segment = 1; delay_instructions = 60; reg = 13; bit = 6 };
+          (Fault.checker_register ~segment:1 ~delay_instructions:60 ~reg:13 ~bit:6);
     }
   in
   let r = run_protected ~config program in
@@ -452,12 +448,237 @@ let test_recovery_first_segment () =
       Parallaft.Config.recovery = true;
       fault_plan =
         Some
-          { Parallaft.Config.segment = 0; delay_instructions = 40; reg = 13; bit = 3 };
+          (Fault.checker_register ~segment:0 ~delay_instructions:40 ~reg:13 ~bit:3);
     }
   in
   let r = run_protected ~config program in
   Alcotest.(check bool) "recovered" true (r.stats.Parallaft.Stats.recoveries >= 1);
   Alcotest.(check (option int)) "completed" (Some 0) r.exit_status
+
+(* {2 Hardened fault response (DESIGN.md §13): re-check, watchdog,
+   hard faults, rollback exactness} *)
+
+let test_transient_recheck_no_rollback () =
+  (* A checker-register flip with the re-check extension on: the failed
+     check re-dispatches onto the pristine spare, which (un-faulted)
+     passes, so the failure resolves as a transient checker fault — no
+     rollback, no abort, clean completion. *)
+  (* Time-free workload: the re-dispatch shifts wall-clock timing for
+     the rest of the run, which would feed a gettime-using workload's
+     output. *)
+  let program = deterministic_program () in
+  let config fault_plan =
+    {
+      (parallaft_cfg ~slice_period:20_000 ()) with
+      Parallaft.Config.recheck_on_mismatch = true;
+      recovery = true;
+      fault_plan;
+    }
+  in
+  let clean = run_protected ~config:(config None) program in
+  let r =
+    run_protected
+      ~config:
+        (config
+           (Some
+              (Fault.checker_register ~segment:1 ~delay_instructions:60 ~reg:13
+                 ~bit:6)))
+      program
+  in
+  Alcotest.(check bool) "re-check dispatched" true
+    (r.stats.Parallaft.Stats.rechecks >= 1);
+  Alcotest.(check bool) "resolved transient" true
+    (r.stats.Parallaft.Stats.transient_faults >= 1);
+  Alcotest.(check int) "no rollback" 0 r.stats.Parallaft.Stats.recoveries;
+  Alcotest.(check bool) "not aborted" false r.aborted;
+  Alcotest.(check (option int)) "clean exit" (Some 0) r.exit_status;
+  Alcotest.(check string) "output untouched" clean.output r.output;
+  (match r.stats.Parallaft.Stats.fi_outcome with
+  | Some (Parallaft.Detection.Transient_checker_fault _) -> ()
+  | o ->
+    Alcotest.failf "expected transient classification, got %s"
+      (match o with
+      | Some o -> Parallaft.Detection.outcome_to_string o
+      | None -> "none"));
+  (* Transients are logged but are not detections charged to the main. *)
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check bool)
+        (Parallaft.Detection.outcome_to_string o ^ " not a detection")
+        false
+        (Parallaft.Detection.is_detected o))
+    r.detections
+
+let test_runtime_kill_caught_by_watchdog () =
+  (* The checker itself is killed mid-check (a fault in the FT
+     machinery). No spare, no recovery: the watchdog must notice the
+     dead checker and fail the run instead of hanging it. *)
+  let program = busy_program () in
+  let config =
+    {
+      (parallaft_cfg ~slice_period:20_000 ()) with
+      Parallaft.Config.fault_plan =
+        Some
+          {
+            Fault.segment = 1;
+            delay_instructions = 50;
+            target = Fault.Runtime_fault Fault.Kill;
+            repeat = false;
+          };
+    }
+  in
+  let r = run_protected ~config program in
+  Alcotest.(check bool) "watchdog responded" true
+    (r.stats.Parallaft.Stats.watchdog_kills >= 1);
+  Alcotest.(check bool) "aborted" true r.aborted;
+  Alcotest.(check bool) "injection fired" true r.stats.Parallaft.Stats.fi_fired;
+  match r.stats.Parallaft.Stats.fi_outcome with
+  | Some o ->
+    Alcotest.(check bool) "classified as detected" true
+      (Parallaft.Detection.is_detected o)
+  | None -> Alcotest.fail "runtime fault not classified"
+
+let test_runtime_stall_recheck_recovers () =
+  (* The checker stalls while holding a core: the instruction-budget
+     timeout never fires (it needs the checker to execute), so only the
+     watchdog's progress budget catches it. With a spare available the
+     check re-dispatches and the run completes without rollback. *)
+  let program = busy_program () in
+  let config =
+    {
+      (parallaft_cfg ~slice_period:20_000 ()) with
+      Parallaft.Config.recheck_on_mismatch = true;
+      watchdog_stall_ns = 3_000_000;
+      fault_plan =
+        Some
+          {
+            Fault.segment = 1;
+            delay_instructions = 50;
+            target = Fault.Runtime_fault Fault.Stall;
+            repeat = false;
+          };
+    }
+  in
+  let r = run_protected ~config program in
+  Alcotest.(check bool) "watchdog killed the stalled checker" true
+    (r.stats.Parallaft.Stats.watchdog_kills >= 1);
+  Alcotest.(check bool) "re-check resolved it" true
+    (r.stats.Parallaft.Stats.transient_faults >= 1);
+  Alcotest.(check int) "no rollback" 0 r.stats.Parallaft.Stats.recoveries;
+  Alcotest.(check bool) "not aborted" false r.aborted;
+  Alcotest.(check (option int)) "clean exit" (Some 0) r.exit_status
+
+let test_hard_fault_aborts_early () =
+  (* A persistent (stuck-at) checker fault: re-execution after the
+     rollback reproduces the detection before any new segment verifies.
+     The classifier must call it a hard fault and abort after ONE wasted
+     rollback instead of burning the whole max_recoveries budget. *)
+  let program = busy_program () in
+  let config =
+    {
+      (parallaft_cfg ~slice_period:20_000 ()) with
+      Parallaft.Config.recovery = true;
+      fault_plan =
+        Some
+          {
+            Fault.segment = 1;
+            delay_instructions = 60;
+            target = Fault.Checker_register { reg = 13; bit = 6 };
+            repeat = true;
+          };
+    }
+  in
+  let r = run_protected ~config program in
+  Alcotest.(check bool) "hard fault classified" true
+    (r.stats.Parallaft.Stats.hard_faults >= 1);
+  Alcotest.(check bool) "aborted" true r.aborted;
+  Alcotest.(check int) "single rollback burned" 1
+    r.stats.Parallaft.Stats.recoveries;
+  Alcotest.(check bool) "hard fault in the detection log" true
+    (List.exists
+       (fun (_, o) ->
+         match o with Parallaft.Detection.Hard_fault _ -> true | _ -> false)
+       r.detections)
+
+(* Property (rollback exactness): for ANY main-side fault that the
+   pipeline detects and recovers from, the final registers and memory
+   are byte-identical to the fault-free run's — recovery restores true
+   state, and anything benign was genuinely overwritten. The workload is
+   time-free (no gettime/rdtsc) so its final state is a pure function of
+   the program. *)
+let gen_main_fault_case =
+  QCheck.Gen.(
+    let* seg = 0 -- 2 in
+    let* delay = 30 -- 120 in
+    let* reg = 6 -- 13 in
+    let* bit = 0 -- 30 in
+    let* mem = bool in
+    let* page = 0 -- 10 in
+    let* wl_seed = 0 -- 300 in
+    let target =
+      if mem then Fault.Main_memory_page { page_index = page; bit }
+      else Fault.Main_register { reg; bit }
+    in
+    return
+      ( { Fault.segment = seg; delay_instructions = delay; target;
+          repeat = false },
+        wl_seed ))
+
+let print_main_fault_case (plan, wl_seed) =
+  Printf.sprintf "{%s; wl_seed=%d}" (Fault.to_string plan) wl_seed
+
+let qcheck_main_fault_rollback_exact =
+  QCheck.Test.make
+    ~name:"main faults: recovered or benign runs end in the fault-free state"
+    ~count:15
+    (QCheck.make ~print:print_main_fault_case gen_main_fault_case)
+    (fun (plan, wl_seed) ->
+      let program =
+        Workloads.Codegen.generate ~name:"exact"
+          ~seed:(Int64.of_int (wl_seed + 1))
+          ~page_size:platform.Platform.page_size
+          {
+            Workloads.Codegen.pattern =
+              Workloads.Codegen.Chase
+                { pages = 8; hot_pages = 3; cold_every = 2 };
+            alu_per_mem = 3;
+            store_every = 2;
+            outer_iters = 8;
+            inner_iters = 30;
+            io_every = 3;
+            gettime_every = 0;
+            rdtsc_every = 0;
+            mmap_churn = false;
+          }
+      in
+      let config fault_plan =
+        {
+          (parallaft_cfg ~slice_period:15_000 ()) with
+          Parallaft.Config.recovery = true;
+          fault_plan;
+        }
+      in
+      let reference = run_protected ~config:(config None) program in
+      if reference.exit_status <> Some 0 then
+        QCheck.Test.fail_report "reference run did not exit cleanly";
+      let r = run_protected ~config:(config (Some plan)) program in
+      if r.aborted || r.exit_status <> Some 0 then true
+        (* recovery budget exhausted: a loud failure, not an exactness
+           violation *)
+      else
+        match
+          ( Parallaft.Stats.final_state_hash r.stats,
+            Parallaft.Stats.final_state_hash reference.stats )
+        with
+        | Some got, Some want when got = want -> true
+        | Some _, Some _ ->
+          QCheck.Test.fail_reportf
+            "final state diverged from fault-free run (recoveries=%d, fi=%s)"
+            r.stats.Parallaft.Stats.recoveries
+            (match r.stats.Parallaft.Stats.fi_outcome with
+            | Some o -> Parallaft.Detection.outcome_to_string o
+            | None -> "none")
+        | _ -> QCheck.Test.fail_report "final state hash missing")
 
 let test_file_backed_mmap_splits_segment () =
   (* A file-backed private mmap must be placed outside any segment
@@ -547,6 +768,18 @@ let () =
           tc "disabled aborts" `Quick test_recovery_disabled_aborts;
           tc "first segment" `Quick test_recovery_first_segment;
           tc "file-backed mmap splits segment" `Quick test_file_backed_mmap_splits_segment;
+        ] );
+      ( "hardening",
+        [
+          tc "transient re-check avoids rollback" `Quick
+            test_transient_recheck_no_rollback;
+          tc "runtime kill caught by watchdog" `Quick
+            test_runtime_kill_caught_by_watchdog;
+          tc "runtime stall re-checked and recovered" `Quick
+            test_runtime_stall_recheck_recovers;
+          tc "persistent fault aborts as hard fault" `Quick
+            test_hard_fault_aborts_early;
+          QCheck_alcotest.to_alcotest qcheck_main_fault_rollback_exact;
         ] );
       ( "scheduling",
         [

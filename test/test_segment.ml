@@ -163,6 +163,9 @@ let test_legal_transition_table () =
       (Seg.Awaiting_launch_p, Seg.Checking_p);
       (Seg.Checking_p, Seg.Done_p);
       (Seg.Recording_p, Seg.Done_p);
+      (* Re-dispatch: a failed check returns to the launch queue on a
+         spare checker (transient re-check / watchdog replacement). *)
+      (Seg.Checking_p, Seg.Awaiting_launch_p);
     ]
   in
   List.iter
@@ -188,7 +191,7 @@ let test_legal_transition_table () =
 type scenario = {
   raft : bool;
   recovery : bool;
-  fault : Parallaft.Config.fault_plan option;
+  fault : Fault.plan option;
   wl_seed : int;
   outer : int;
   io_every : int;
@@ -211,12 +214,9 @@ let gen_scenario =
     let fault =
       if with_fault then
         Some
-          {
-            Parallaft.Config.segment = (if raft then 0 else fault_seg);
-            delay_instructions = delay;
-            reg;
-            bit;
-          }
+          (Fault.checker_register
+             ~segment:(if raft then 0 else fault_seg)
+             ~delay_instructions:delay ~reg ~bit)
       else None
     in
     return { raft; recovery; fault; wl_seed; outer; io_every; store_every })
@@ -229,9 +229,7 @@ let print_scenario s =
     (match s.fault with
     | None -> "none"
     | Some f ->
-      Printf.sprintf "seg%d+%d r%d b%d" f.Parallaft.Config.segment
-        f.Parallaft.Config.delay_instructions f.Parallaft.Config.reg
-        f.Parallaft.Config.bit)
+      Fault.to_string f)
     s.wl_seed s.outer s.io_every s.store_every
 
 let run_scenario s =
@@ -316,12 +314,7 @@ let test_raft_recovery_invariants () =
       recovery = true;
       fault =
         Some
-          {
-            Parallaft.Config.segment = 0;
-            delay_instructions = 60;
-            reg = 13;
-            bit = 6;
-          };
+          (Fault.checker_register ~segment:0 ~delay_instructions:60 ~reg:13 ~bit:6);
       wl_seed = 7;
       outer = 8;
       io_every = 3;
@@ -337,6 +330,132 @@ let test_raft_recovery_invariants () =
        (Parallaft.Coordinator.segment_histories coord));
   Alcotest.(check bool) "run completed" true
     (r.Parallaft.Runtime.exit_status = Some 0 || r.Parallaft.Runtime.aborted)
+
+(* {2 Faults during recovery (DESIGN.md §13)}
+
+   Chaos layer: an engine tick murders random live checkers — including
+   re-recorded ones mid-rollback and spares' owners mid-re-check — while
+   an ordinary fault plan is ALSO driving rollbacks. Whatever interleaving
+   results, the pipeline must neither corrupt its state machine nor leak
+   processes nor hang: every history stays legal, the engine ends empty,
+   and the run either completes or aborts loudly. *)
+
+type chaos = {
+  c_wl_seed : int;
+  c_interval : int;  (** ns between murder attempts *)
+  c_one_in : int;  (** kill with probability 1/c_one_in per tick *)
+  c_recheck : bool;
+  c_with_plan : bool;
+}
+
+let gen_chaos =
+  QCheck.Gen.(
+    let* c_wl_seed = 0 -- 200 in
+    let* c_interval = 20_000 -- 120_000 in
+    let* c_one_in = 1 -- 4 in
+    let* c_recheck = bool in
+    let* c_with_plan = bool in
+    return { c_wl_seed; c_interval; c_one_in; c_recheck; c_with_plan })
+
+let print_chaos c =
+  Printf.sprintf "{wl_seed=%d; interval=%d; one_in=%d; recheck=%b; plan=%b}"
+    c.c_wl_seed c.c_interval c.c_one_in c.c_recheck c.c_with_plan
+
+let run_chaos c =
+  let program =
+    Workloads.Codegen.generate ~name:"chaos"
+      ~seed:(Int64.of_int (c.c_wl_seed + 1))
+      ~page_size:platform.Platform.page_size
+      {
+        Workloads.Codegen.pattern =
+          Workloads.Codegen.Chase { pages = 6; hot_pages = 3; cold_every = 2 };
+        alu_per_mem = 3;
+        store_every = 2;
+        outer_iters = 8;
+        inner_iters = 30;
+        io_every = 3;
+        gettime_every = 4;
+        rdtsc_every = 0;
+        mmap_churn = false;
+      }
+  in
+  let config =
+    {
+      (Parallaft.Config.parallaft ~platform ~slice_period:15_000 ()) with
+      Parallaft.Config.check_invariants = true;
+      recovery = true;
+      recheck_on_mismatch = c.c_recheck;
+      fault_plan =
+        (if c.c_with_plan then
+           Some
+             (Fault.checker_register ~segment:1 ~delay_instructions:60 ~reg:13
+                ~bit:6)
+         else None);
+    }
+  in
+  let rng = Util.Rng.create ~seed:(Int64.of_int (c.c_wl_seed + 99)) in
+  let captured = ref None in
+  let r =
+    Parallaft.Runtime.run_protected ~platform ~config ~program
+      ~before_run:(fun eng coord ->
+        captured := Some (eng, coord);
+        Sim_os.Engine.add_tick eng ~every_ns:c.c_interval (fun eng ->
+            let main = Parallaft.Coordinator.main_pid coord in
+            let victims =
+              List.filter
+                (fun p ->
+                  p <> main
+                  &&
+                  match Sim_os.Engine.state eng p with
+                  | Sim_os.Engine.Exited _ -> false
+                  | Sim_os.Engine.Runnable | Sim_os.Engine.Stopped -> true)
+                (Parallaft.Coordinator.live_pids coord)
+            in
+            if victims <> [] && Util.Rng.int rng c.c_one_in = 0 then
+              Sim_os.Engine.kill eng
+                (List.nth victims (Util.Rng.int rng (List.length victims)))))
+      ()
+  in
+  let eng, coord = Option.get !captured in
+  (r, eng, coord)
+
+let prop_chaos c =
+  let r, eng, coord = run_chaos c in
+  List.iter
+    (fun (id, hist) ->
+      if not (Seg.legal_history hist) then
+        QCheck.Test.fail_reportf "segment %d: illegal history [%s]" id
+          (String.concat "; " (List.map Seg.phase_to_string hist)))
+    (Parallaft.Coordinator.segment_histories coord);
+  let leaked = Sim_os.Engine.live_processes eng in
+  if leaked <> 0 then
+    QCheck.Test.fail_reportf "%d engine processes leaked at run end" leaked;
+  (* Loud terminal outcome — a run that neither finished nor aborted hit
+     the engine's hang bound with the pipeline wedged. *)
+  if not (r.Parallaft.Runtime.exit_status = Some 0 || r.Parallaft.Runtime.aborted)
+  then QCheck.Test.fail_report "run neither completed nor aborted";
+  true
+
+let qcheck_chaos_during_recovery =
+  QCheck.Test.make
+    ~name:"checker murders during recovery: legal histories, no leaks, no hang"
+    ~count:15
+    (QCheck.make ~print:print_chaos gen_chaos)
+    prop_chaos
+
+let test_chaos_directed () =
+  (* One pinned aggressive case (murder nearly every tick, fault plan and
+     re-check both on) so the suite exercises the branchiest interleaving
+     deterministically even if the generator drifts. *)
+  ignore
+    (prop_chaos
+       {
+         c_wl_seed = 3;
+         c_interval = 25_000;
+         c_one_in = 1;
+         c_recheck = true;
+         c_with_plan = true;
+       })
 
 let test_histories_disabled_without_flag () =
   let program = Workloads.Micro.getpid_loop ~iters:50 in
@@ -368,5 +487,10 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_pipeline_paths_and_no_leaks;
           tc "raft recovery with invariants" `Quick test_raft_recovery_invariants;
           tc "histories gated on flag" `Quick test_histories_disabled_without_flag;
+        ] );
+      ( "fault-during-recovery",
+        [
+          QCheck_alcotest.to_alcotest qcheck_chaos_during_recovery;
+          tc "directed chaos case" `Quick test_chaos_directed;
         ] );
     ]
