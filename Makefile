@@ -1,7 +1,7 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  fault-smoke invariants golden-check ci clean
+  fault-smoke bench-json bench-smoke invariants golden-check ci clean
 
 all: build
 
@@ -64,7 +64,26 @@ compare-smoke: build
 fault-smoke: build
 	PARALLAFT_INVARIANTS=1 PARALLAFT_QUICK=1 dune exec bin/fault_smoke.exe
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke
+# Emit the versioned BENCH_*.json perf artifact (bechamel estimates +
+# profiled phase breakdown + run metadata) into the repo root, at full
+# sampling budget. Compare two artifacts with e.g.
+#   dune exec bench/main.exe -- --against OLD.json NEW.json --threshold 5
+bench-json: build
+	dune exec bench/main.exe -- --json
+
+# The perf-trajectory plumbing end to end on a quick sampling budget:
+# emit the artifact, schema-check it, then push it through the
+# regression gate against itself at threshold 0 — any nonzero delta or
+# parse drift fails, so this pins the gate itself, not the (noisy,
+# host-dependent) estimates.
+bench-smoke: build
+	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 dune exec bench/main.exe -- \
+	  --json --out /tmp/parallaft_bench.json
+	dune exec bench/main.exe -- --check /tmp/parallaft_bench.json
+	dune exec bench/main.exe -- --against /tmp/parallaft_bench.json \
+	  /tmp/parallaft_bench.json --threshold 0
+
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke bench-smoke
 
 clean:
 	dune clean

@@ -223,7 +223,11 @@ let tests =
            assert (Machine.Cpu.branches cpu = 4000)));
   ]
 
-let run_microbenches () =
+(* Runs every microbench, prints the familiar table, and returns the
+   (name, estimate) rows so the --json mode can serialize them. Quick
+   mode shrinks the sampling budget: the estimates get noisier but the
+   whole sweep fits in a CI smoke leg. *)
+let run_microbenches ?(quick = false) () =
   print_endline "================================================================";
   print_endline "Part 1: Bechamel microbenchmarks (one per table/figure)";
   print_endline "================================================================";
@@ -232,8 +236,10 @@ let run_microbenches () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
+    if quick then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~kde:(Some 10) ()
+    else Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
   in
+  let rows = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -242,10 +248,14 @@ let run_microbenches () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-            Printf.printf "  %-34s %12.1f ns/run\n%!" name est
-          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" name)
+            Printf.printf "  %-34s %12.1f ns/run\n%!" name est;
+            rows := (name, Some est) :: !rows
+          | Some _ | None ->
+            Printf.printf "  %-34s (no estimate)\n%!" name;
+            rows := (name, None) :: !rows)
         results)
-    tests
+    tests;
+  List.rev !rows
 
 (* The reproduction part honours the experiment runner's jobs knob:
    [-j N] on the command line, else PARALLAFT_JOBS, else cores - 1.
@@ -301,11 +311,146 @@ let run_compare_smoke () =
     fail "diverged fixture should hash every page on both sides";
   print_endline "compare-smoke: OK"
 
+(* --- the BENCH_*.json perf artifact ---------------------------------- *)
+
+let quick_env () =
+  match Sys.getenv_opt "PARALLAFT_QUICK" with
+  | Some "" | Some "0" | None -> false
+  | Some _ -> true
+
+let argv_flag name = Array.exists (( = ) name) Sys.argv
+
+let argv_value name =
+  let rec go = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+(* --against BASELINE [CURRENT]: one path compares a fresh benchmark run
+   against the baseline file; two paths compare the files directly (no
+   benchmarks run — what the CI self-comparison smoke uses). *)
+let against_paths () =
+  let rec go = function
+    | "--against" :: rest ->
+      let rec take acc = function
+        | p :: more when List.length acc < 2 && (p = "" || p.[0] <> '-') ->
+          take (p :: acc) more
+        | _ -> List.rev acc
+      in
+      take [] rest
+    | _ :: rest -> go rest
+    | [] -> []
+  in
+  go (Array.to_list Sys.argv)
+
+(* Phase self-time breakdown of one profiled protected run. Attributed
+   in simulated time, so unlike the bechamel estimates it is
+   deterministic across hosts — trajectory diffs can separate real
+   phase-mix shifts from wall-clock noise. *)
+let profile_breakdown () =
+  let sink = Obs.Sink.create () in
+  Obs.Profile.set_enabled sink.Obs.Sink.profile true;
+  let config =
+    { (parallaft_cfg ()) with Parallaft.Config.obs = Some sink }
+  in
+  let r =
+    Parallaft.Runtime.run_protected ~platform ~config ~program:small_program ()
+  in
+  r.Parallaft.Runtime.stats.Parallaft.Stats.profile
+
+let read_report_exn what path =
+  match Report.read path with
+  | Ok r -> r
+  | Error m ->
+    Printf.eprintf "bench-json: %s %s: %s\n" what path m;
+    exit 1
+
+let fresh_report () =
+  let rows = run_microbenches ~quick:(quick_env ()) () in
+  let benches =
+    List.filter_map
+      (fun (name, est) ->
+        Option.map
+          (fun ns -> { Experiments.Bench_report.name; ns_per_run = ns })
+          est)
+      rows
+  in
+  let report =
+    { Experiments.Bench_report.meta = Report.metadata ();
+      benches;
+      profile = profile_breakdown () }
+  in
+  (match Experiments.Bench_report.check report with
+  | Ok () -> ()
+  | Error m ->
+    Printf.eprintf "bench-json: fresh report fails its own check: %s\n" m;
+    exit 1);
+  report
+
+let run_check path =
+  let r = read_report_exn "reading" path in
+  match Experiments.Bench_report.check r with
+  | Error m ->
+    Printf.eprintf "bench-check: %s: %s\n" path m;
+    exit 1
+  | Ok () ->
+    Printf.printf "bench-check: %s OK (%d benchmarks, %d profile phases)\n"
+      path
+      (List.length r.Experiments.Bench_report.benches)
+      (List.length r.Experiments.Bench_report.profile)
+
+let run_json_mode () =
+  let threshold =
+    match argv_value "--threshold" with
+    | None -> 5.0
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 -> f
+      | Some _ | None ->
+        Printf.eprintf "bench-json: bad --threshold %s\n" s;
+        exit 1)
+  in
+  let against = against_paths () in
+  let current =
+    match against with
+    | [ _; current_path ] -> read_report_exn "reading" current_path
+    | _ -> fresh_report ()
+  in
+  if argv_flag "--json" then begin
+    let path =
+      match argv_value "--out" with
+      | Some p -> p
+      | None -> Report.default_path ()
+    in
+    Report.write ~path current;
+    Printf.printf "bench-json: wrote %s (%d benchmarks, %d profile phases)\n"
+      path
+      (List.length current.Experiments.Bench_report.benches)
+      (List.length current.Experiments.Bench_report.profile)
+  end;
+  match against with
+  | [] -> ()
+  | baseline_path :: _ ->
+    let baseline = read_report_exn "baseline" baseline_path in
+    let table, ok =
+      Experiments.Bench_report.delta_table ~threshold_pct:threshold ~baseline
+        ~current
+    in
+    print_string table;
+    if not ok then exit 2
+
 let () =
-  if Array.exists (( = ) "--compare-smoke") Sys.argv then run_compare_smoke ()
-  else begin
+  if argv_flag "--compare-smoke" then run_compare_smoke ()
+  else
+    match argv_value "--check" with
+    | Some path -> run_check path
+    | None ->
+      if argv_flag "--json" || against_paths () <> [] then run_json_mode ()
+      else begin
     parse_jobs ();
-    run_microbenches ();
+    ignore (run_microbenches ());
   print_newline ();
   print_endline "================================================================";
   print_endline "Part 2: full reproduction of every table and figure";

@@ -1,0 +1,105 @@
+(* Executable-side half of the BENCH_*.json artifact: metadata
+   collection (git revision, env knobs, host shape) and file IO. The
+   pure schema/parse/delta logic lives in Experiments.Bench_report so
+   the test suite can exercise it without running benchmarks. *)
+
+let truthy = function Some "" | Some "0" | None -> false | Some _ -> true
+
+let read_first_line path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    Some (String.trim line)
+  end
+  else None
+
+(* Resolve HEAD through packed-refs when the loose ref file is absent
+   (git packs refs on gc); lines are "<sha> <refname>". *)
+let packed_ref git refname =
+  let path = Filename.concat git "packed-refs" in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let found = ref None in
+    (try
+       while !found = None do
+         let line = input_line ic in
+         match String.index_opt line ' ' with
+         | Some i when String.sub line (i + 1) (String.length line - i - 1) = refname
+           ->
+           found := Some (String.sub line 0 i)
+         | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !found
+  end
+
+(* The current git revision, for the metadata block and the default
+   artifact name. PARALLAFT_GIT_REV overrides (detached CI checkouts);
+   otherwise .git/HEAD is resolved by hand, walking up from the cwd,
+   with no dependency on a git binary being installed. *)
+let git_rev () =
+  match Sys.getenv_opt "PARALLAFT_GIT_REV" with
+  | Some rev when rev <> "" -> rev
+  | _ -> (
+    let rec find_git dir depth =
+      if depth > 8 then None
+      else if Sys.file_exists (Filename.concat dir ".git") then Some dir
+      else
+        let parent = Filename.dirname dir in
+        if parent = dir then None else find_git parent (depth + 1)
+    in
+    match find_git (Sys.getcwd ()) 0 with
+    | None -> "unknown"
+    | Some root -> (
+      let git = Filename.concat root ".git" in
+      match read_first_line (Filename.concat git "HEAD") with
+      | None | Some "" -> "unknown"
+      | Some head ->
+        let rev =
+          if String.length head > 5 && String.sub head 0 5 = "ref: " then begin
+            let refname = String.sub head 5 (String.length head - 5) in
+            match read_first_line (Filename.concat git refname) with
+            | Some sha when sha <> "" -> sha
+            | _ -> (
+              match packed_ref git refname with
+              | Some sha -> sha
+              | None -> "unknown")
+          end
+          else head
+        in
+        if String.length rev > 12 then String.sub rev 0 12 else rev))
+
+let metadata () =
+  [
+    ("git_rev", git_rev ());
+    ("quick", if truthy (Sys.getenv_opt "PARALLAFT_QUICK") then "1" else "0");
+    ( "scale",
+      match Sys.getenv_opt "PARALLAFT_SCALE" with
+      | Some s when s <> "" -> s
+      | _ -> "1.0" );
+    ( "host",
+      Printf.sprintf "%s/%dbit/%dcores" Sys.os_type Sys.word_size
+        (Domain.recommended_domain_count ()) );
+  ]
+
+let default_path () =
+  Printf.sprintf "BENCH_v%d_%s.json" Experiments.Bench_report.schema_version
+    (git_rev ())
+
+let write ~path report =
+  let oc = open_out_bin path in
+  output_string oc (Experiments.Bench_report.to_json report);
+  close_out oc
+
+let read path =
+  if not (Sys.file_exists path) then Error "no such file"
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let doc = really_input_string ic len in
+    close_in ic;
+    Experiments.Bench_report.of_json doc
+  end

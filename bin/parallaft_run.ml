@@ -66,7 +66,8 @@ let build_plan fault fault_target =
       | Error m -> Error m))
 
 let run platform_name mode_name period scale workload input asm_file seed
-    show_output trace_file metrics_file fault fault_target recheck recovery =
+    show_output trace_file metrics_file fault fault_target recheck recovery
+    profile =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -108,10 +109,13 @@ let run platform_name mode_name period scale workload input asm_file seed
         1
       | Some program -> (
         let sink =
-          if trace_file <> None || metrics_file <> None then
+          if trace_file <> None || metrics_file <> None || profile then
             Some (Obs.Sink.create ())
           else None
         in
+        (match sink with
+        | Some s when profile -> Obs.Profile.set_enabled s.Obs.Sink.profile true
+        | Some _ | None -> ());
         (* Returns false (and complains) if an output file can't be
            written, so the run exits non-zero instead of crashing after
            the simulation already completed. *)
@@ -192,6 +196,12 @@ let run platform_name mode_name period scale workload input asm_file seed
               Printf.printf "detection segment=%d %s\n" seg
                 (Parallaft.Detection.outcome_to_string o))
             r.Parallaft.Runtime.detections;
+          (match sink with
+          | Some s when profile ->
+            print_string
+              (Obs.Profile.to_table s.Obs.Sink.profile
+                 ~wall_ns:r.Parallaft.Runtime.wall_ns)
+          | Some _ | None -> ());
           if show_output then print_string r.Parallaft.Runtime.output;
           if not dumped then 1
           else if r.Parallaft.Runtime.detections <> [] then 3
@@ -261,6 +271,14 @@ let recheck_arg =
                failure as a transient checker fault and the run continues \
                without rollback.")
 
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ]
+         ~doc:"Enable the phase-attribution profiler and print a self-time \
+               breakdown table (record/replay/compare/fork/... phases, \
+               per-segment attribution) after the stats dump. Also adds \
+               profile.* rows to the stats and profile.* counter tracks to \
+               --trace output.")
+
 let recovery_arg =
   Arg.(value & flag & info [ "recovery" ]
          ~doc:"Enable error recovery: on a detection, roll the main process \
@@ -272,7 +290,8 @@ let cmd =
     Term.(
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
-      $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg)
+      $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg
+      $ profile_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

@@ -31,6 +31,10 @@ let start_segment t =
     ~args:
       [ ("seg", Obs.Trace.Int (Segment.id seg)); ("checker", Obs.Trace.Int checker) ]
     "segment";
+  (* The main core's timeline is now recording this segment; everything
+     charged to the main until end_segment (dirty scans, forks, record
+     I/O) debits this scope's self-time. *)
+  phase_enter t ~track:(main_track t) ~segment:(Segment.id seg) "record";
   (* RAFT runs its (single) checker concurrently with the main process,
      streaming the R/R log; the checker blocks whenever it reaches an
      event that has not been recorded yet. Parallaft instead launches
@@ -41,6 +45,8 @@ let start_segment t =
     emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
       ~args:[ ("seg", Obs.Trace.Int (Segment.id seg)) ]
       "check";
+    phase_enter t ~track:(Obs.Trace.Proc checker) ~segment:(Segment.id seg)
+      "replay";
     Scheduler.enqueue t.sched checker
   | Config.Parallaft -> ());
   let cpu = main_cpu t in
@@ -49,7 +55,7 @@ let start_segment t =
   if t.cfg.Config.compare_states then begin
     let pt = page_table_of t t.main in
     Dirty_tracker.clear t.cfg.Config.dirty_backend pt;
-    charge_scan t t.main
+    charge_scan t ~segment:(Segment.id seg) t.main
       ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt)
   end;
   t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
@@ -79,7 +85,7 @@ let end_segment t =
         t.stats.Stats.dirty_pages_total <-
           t.stats.Stats.dirty_pages_total + Array.length dirty;
         observe t "segment.dirty_pages" (float_of_int (Array.length dirty));
-        charge_scan t t.main
+        charge_scan t ~segment:(Segment.id seg) t.main
           ~pages:(Dirty_tracker.scan_cost_pages t.cfg.Config.dirty_backend pt);
         let snapshot = E.fork_process t.eng t.main in
         t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1;
@@ -96,6 +102,7 @@ let end_segment t =
           ("dirty_pages", Obs.Trace.Int (Array.length main_dirty));
         ]
       "segment";
+    phase_leave t ~track:(main_track t) "record";
     t.cur <- None;
     t.live <- t.live @ [ seg ];
     t.stats.Stats.segments_total <- t.stats.Stats.segments_total + 1;
@@ -124,6 +131,9 @@ let on_main_exited t =
   emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
     ~args:[ ("live_segments", Obs.Trace.Int (List.length t.live)) ]
     "main.exit";
+  (* The main core is now idle while the remaining checkers drain; the
+     scope stays open until run end (or rollback) closes it. *)
+  phase_enter t ~track:(main_track t) "drain";
   let st = E.proc_stats t.eng t.main in
   t.stats.Stats.main_wall_ns <- float_of_int (st.E.ended_ns - st.E.started_ns);
   t.stats.Stats.main_user_ns <- st.E.user_ns;
@@ -143,6 +153,7 @@ let boundary t =
     emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
       ~args:[ ("live_segments", Obs.Trace.Int (live_count t)) ]
       "main.held";
+    phase_enter t ~track:(main_track t) "main_held";
     Scheduler.set_main_held t.sched true
     (* main stays stopped until a segment completes *)
   end
@@ -198,7 +209,9 @@ let record_and_pass t call =
     (match in_data with Some b -> Bytes.length b | None -> 0)
     + List.fold_left (fun acc { Rr_log.data; _ } -> acc + Bytes.length data) 0 effects
   in
-  charge_record t t.main ~bytes;
+  charge_record t
+    ?segment:(match t.cur with Some s -> Some (Segment.id s) | None -> None)
+    t.main ~bytes;
   Rr_log.record (current_log t) (Rr_log.Sys { call; in_data; result; effects });
   t.stats.Stats.syscalls_recorded <- t.stats.Stats.syscalls_recorded + 1;
   emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant

@@ -49,6 +49,9 @@ let kill_spare t seg =
 let abort_run t =
   t.aborted <- true;
   emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant "abort";
+  (* Teardown kills processes mid-phase; retire every open profiling
+     scope at abort time so no elapsed time is lost or double-counted. *)
+  phase_close_all t;
   latch_main_fault t;
   List.iter (close_torn_down_check t) t.live;
   close_torn_down_cur t;
@@ -90,7 +93,11 @@ let note_verified t ~id ~snapshot =
         t.recovery_point <- Some (t.verified_prefix, snap');
         (* The verified prefix moved past the rollback anchor: the
            re-executed run is making verified progress, so a later
-           detection is a new fault, not the old one persisting. *)
+           detection is a new fault, not the old one persisting. The
+           rollback phase scope ends here — repair is complete once
+           re-executed work verifies again. *)
+        if (not t.verified_since_rollback) && t.rollback_anchor <> None then
+          phase_leave t ~track:Obs.Trace.Run "rollback";
         t.verified_since_rollback <- true
       | None -> continue_promoting := false
     done
@@ -107,6 +114,7 @@ let recover t =
         ("verified_prefix", Obs.Trace.Int t.verified_prefix);
       ]
     "recovery";
+  phase_close_all t;
   latch_main_fault t;
   List.iter (close_torn_down_check t) t.live;
   close_torn_down_cur t;
@@ -145,6 +153,10 @@ let recover t =
        back (Hard_fault), not something another rollback can fix. *)
     t.rollback_anchor <- Some anchor_id;
     t.verified_since_rollback <- false;
+    (* The rollback phase runs on the Run track (concurrent work, not
+       part of the main-core wall partition: re-recording overlaps it)
+       until re-executed work verifies again in [note_verified]. *)
+    phase_enter t ~track:Obs.Trace.Run "rollback";
     (* Re-anchor the verified prefix at the ids the post-rollback
        segments will get, so promotion resumes seamlessly. *)
     t.verified_prefix <- t.next_id - 1;

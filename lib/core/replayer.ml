@@ -80,6 +80,11 @@ let launch_checker t seg =
     emit_ev t ~track:(Obs.Trace.Proc checker) ~phase:Obs.Trace.Begin
       ~args:[ ("seg", Obs.Trace.Int (Segment.id seg)) ]
       "check";
+    (* The "replay" scope covers the checker's whole check; the
+       scheduler's "checker_launch" scope (queue wait + dispatch) nests
+       inside it on the same track, so replay self-time excludes it. *)
+    phase_enter t ~track:(Obs.Trace.Proc checker) ~segment:(Segment.id seg)
+      "replay";
     Scheduler.enqueue t.sched checker
   end
   else if was_waiting then
@@ -125,6 +130,7 @@ let redispatch_check t seg ~because outcome =
   | None -> ());
   kill_if_alive t old;
   Scheduler.finished t.sched old;
+  phase_leave t ~track:(Obs.Trace.Proc old) "replay";
   Hashtbl.remove t.roles old;
   Hashtbl.remove t.watchdog (Segment.id seg);
   t.stats.Stats.rechecks <- t.stats.Stats.rechecks + 1;
@@ -261,6 +267,7 @@ let really_finish_checker t seg outcome_opt =
      | None -> ());
   t.live <- List.filter (fun s -> Segment.id s <> Segment.id seg) t.live;
   Scheduler.finished t.sched checker;
+  phase_leave t ~track:(Obs.Trace.Proc checker) "replay";
   if failed then begin
     match outcome_opt with
     | Some (Detection.Hard_fault _) ->
@@ -284,6 +291,7 @@ let really_finish_checker t seg outcome_opt =
   then begin
     t.pending_boundary <- false;
     Scheduler.set_main_held t.sched false;
+    phase_leave t ~track:(main_track t) "main_held";
     Recorder.do_boundary t
   end
 
@@ -322,7 +330,7 @@ let reached_end t seg =
           ~dirty_vpns:union ()
       in
       let bytes = cs.Comparator.bytes_hashed in
-      charge_hash t (Segment.checker seg) ~bytes;
+      charge_hash t ~segment:(Segment.id seg) (Segment.checker seg) ~bytes;
       t.stats.Stats.bytes_hashed <- t.stats.Stats.bytes_hashed + bytes;
       t.stats.Stats.pages_skipped_identical <-
         t.stats.Stats.pages_skipped_identical
@@ -502,7 +510,8 @@ let checker_syscall t seg call =
                 (fun acc { Rr_log.data; _ } -> acc + Bytes.length data)
                 0 rec_.effects
             in
-            charge_record t (Segment.checker seg) ~bytes;
+            charge_record t ~segment:(Segment.id seg) (Segment.checker seg)
+              ~bytes;
             E.resume t.eng (Segment.checker seg)
       end)
 

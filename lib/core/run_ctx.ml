@@ -145,6 +145,36 @@ let observe t name v =
 
 let main_track t = Obs.Trace.Core t.cfg.Config.main_core
 
+(* Phase-attribution profiling (Obs.Profile): scopes opened/closed at
+   pipeline transitions, zero-width charges for costs the engine models
+   as delays. All no-ops unless a sink is configured AND its profiler
+   was explicitly enabled (--profile), so goldens stay byte-identical. *)
+
+let phase_enter t ~track ?segment name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.phase_enter s ~ts_ns:(E.time_ns t.eng) ~track ?segment name
+
+let phase_leave t ~track name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.phase_leave s ~ts_ns:(E.time_ns t.eng) ~track name
+
+let phase_add t ~tracks ?segment name ns =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.phase_add s ~ts_ns:(E.time_ns t.eng) ~tracks ?segment name ns
+
+let phase_close_all t =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.phase_close_all s ~ts_ns:(E.time_ns t.eng)
+
+(* The scope a pid's charges debit: main charges land on the main
+   core's timeline, checker charges on the checker's pid track. *)
+let charge_tracks t pid =
+  if pid = t.main then [ main_track t ] else [ Obs.Trace.Proc pid ]
+
 (* ------------------------------------------------------------------ *)
 (* Simulated-cost charging                                              *)
 
@@ -154,17 +184,31 @@ let big_eff_hz t =
 
 let cycles_to_ns t cycles = float_of_int cycles *. 1e9 /. big_eff_hz t
 
-let charge_scan t pid ~pages =
+let charge_scan t ?segment pid ~pages =
   let cycles = pages * (plat t).Platform.dirty_scan_per_page_cycles in
-  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
+  if cycles > 0 then begin
+    let ns = cycles_to_ns t cycles in
+    E.delay t.eng pid ~ns;
+    phase_add t ~tracks:(charge_tracks t pid) ?segment "dirty_scan"
+      (int_of_float ns)
+  end
 
-let charge_hash t pid ~bytes =
+let charge_hash t ?segment pid ~bytes =
   let cycles = bytes / max 1 (plat t).Platform.hash_bytes_per_cycle in
-  if cycles > 0 then E.delay t.eng pid ~ns:(cycles_to_ns t cycles)
+  if cycles > 0 then begin
+    let ns = cycles_to_ns t cycles in
+    E.delay t.eng pid ~ns;
+    phase_add t ~tracks:(charge_tracks t pid) ?segment "compare"
+      (int_of_float ns)
+  end
 
-let charge_record t pid ~bytes =
+let charge_record t ?segment pid ~bytes =
   let ns = float_of_int bytes *. (plat t).Platform.syscall_record_ns_per_byte in
-  if ns > 0.0 then E.delay t.eng pid ~ns
+  if ns > 0.0 then begin
+    E.delay t.eng pid ~ns;
+    phase_add t ~tracks:(charge_tracks t pid) ?segment "record_io"
+      (int_of_float ns)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Process helpers                                                      *)

@@ -33,6 +33,16 @@ let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
   E.run ~max_ns:max_sim_ns eng;
   let stats = Coordinator.stats coord in
   stats.Stats.all_wall_ns <- float_of_int (E.now_ns eng);
+  (* Retire any phase scope still open at simulation end (e.g. the
+     drain scope) and surface the breakdown as profile.* stats rows. *)
+  (match config.Config.obs with
+  | Some sink when Obs.Profile.enabled sink.Obs.Sink.profile ->
+    Obs.Sink.phase_close_all sink ~ts_ns:(E.now_ns eng);
+    stats.Stats.profile <-
+      List.map
+        (fun (name, s) -> (name, s.Obs.Profile.self_ns))
+        (Obs.Profile.phases sink.Obs.Sink.profile)
+  | Some _ | None -> ());
   (* Run-level fault classification fallback. Checker-side plans are
      classified precisely by the replayer as their segment retires;
      main-side and runtime plans can surface anywhere (any segment's

@@ -52,6 +52,27 @@ let observe t name v =
   | None -> ()
   | Some s -> Obs.Sink.observe s name v
 
+(* Profiling glue (local copies of the Run_ctx helpers: the scheduler
+   sits below Run_ctx in the module order). *)
+
+let phase_enter t ~track name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.phase_enter s ~ts_ns:(Sim_os.Engine.time_ns t.eng) ~track name
+
+let phase_leave t ~track name =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.phase_leave s ~ts_ns:(Sim_os.Engine.time_ns t.eng) ~track name
+
+let phase_add t ~tracks name ns =
+  match t.cfg.Config.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.phase_add s ~ts_ns:(Sim_os.Engine.time_ns t.eng) ~tracks name ns
+
 let cpu_ns t pid =
   let st = Sim_os.Engine.proc_stats t.eng pid in
   st.Sim_os.Engine.user_ns +. st.Sim_os.Engine.sys_ns
@@ -100,6 +121,9 @@ let release_core t core =
 let start_on t pid core =
   Sim_os.Engine.set_core t.eng pid ~core;
   t.running <- t.running @ [ { pid; core; last_cpu_ns = cpu_ns t pid } ];
+  (* Dispatch ends the launch scope opened in [enqueue]: its self-time
+     is the queue wait plus core-allocation work. *)
+  phase_leave t ~track:(Obs.Trace.Proc pid) "checker_launch";
   Sim_os.Engine.resume t.eng pid
 
 (* Migrate the oldest little-core checker to a free big core; returns the
@@ -149,6 +173,7 @@ let rec try_dispatch t =
 let enqueue t pid =
   t.queued <- t.queued @ [ pid ];
   observe t "sched.queue_depth" (float_of_int (List.length t.queued));
+  phase_enter t ~track:(Obs.Trace.Proc pid) "checker_launch";
   try_dispatch t
 
 let finished t pid =
@@ -163,9 +188,12 @@ let finished t pid =
     t.queued <- List.filter (fun q -> q <> pid) t.queued;
     (* A still-queued checker was torn down before it ever ran: the
        dequeue changes the backlog, so the gauge must track it just as
-       enqueue does. *)
-    if List.length t.queued <> depth then
-      observe t "sched.queue_depth" (float_of_int (List.length t.queued))
+       enqueue does — and its launch scope closes here, never having
+       been dispatched. *)
+    if List.length t.queued <> depth then begin
+      observe t "sched.queue_depth" (float_of_int (List.length t.queued));
+      phase_leave t ~track:(Obs.Trace.Proc pid) "checker_launch"
+    end
 
 let on_main_exit t =
   t.main_exited <- true;
@@ -198,6 +226,15 @@ let pacer_tick t =
         ("running", Obs.Trace.Int (List.length t.running));
       ]
     "backlog";
+  (* Idle-capacity attribution, sampled at pacer resolution: each tick
+     charges one period per little core with no checker on it. *)
+  (let littles_running =
+     List.length (List.filter (fun e -> is_little t e.core) t.running)
+   in
+   let idle_littles = List.length t.little - littles_running in
+   if idle_littles > 0 then
+     phase_add t ~tracks:[ Obs.Trace.Run ] "scheduler_idle"
+       (idle_littles * t.cfg.Config.pacer_tick_ns));
   if t.cfg.Config.dvfs_pacing then begin
     let level = Sim_os.Engine.dvfs_level t.eng ~cluster:1 in
     let top =

@@ -29,6 +29,7 @@ type t = {
   mutable hard_faults : int;
   mutable final_regs : int array option;
   mutable final_mem_hash : int64 option;
+  mutable profile : (string * int) list;
 }
 
 let create () =
@@ -63,6 +64,7 @@ let create () =
     hard_faults = 0;
     final_regs = None;
     final_mem_hash = None;
+    profile = [];
   }
 
 (* One digest over the main process's final architectural state
@@ -121,3 +123,8 @@ let to_assoc t =
       | None -> "none"
       | Some h -> Printf.sprintf "%016Lx" h );
   ]
+  (* Profile rows only exist when --profile was requested, so the
+     default stats surface (and every golden) is unchanged. *)
+  @ List.map
+      (fun (name, self_ns) -> ("profile." ^ name, string_of_int self_ns))
+      t.profile

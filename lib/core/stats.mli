@@ -55,6 +55,10 @@ type t = {
   mutable final_mem_hash : int64 option;
       (** digest of main's full memory image at exit (vpn + page bytes,
           ascending vpn order) *)
+  mutable profile : (string * int) list;
+      (** name-sorted (phase, self_ns) rows from [Obs.Profile], filled by
+          [Runtime] only when profiling was enabled; empty otherwise so
+          the stats dump is unchanged by default *)
 }
 
 val create : unit -> t

@@ -1,0 +1,417 @@
+(* The BENCH_*.json artifact: deterministic emitter, self-contained
+   recursive-descent parser (the toolchain has no JSON library, and the
+   document grammar is small enough that depending on one would cost
+   more than these ~100 lines), semantic checks and the regression
+   gate's delta table. Everything here is pure — file IO and metadata
+   collection live with the bench executable. *)
+
+let schema_name = "parallaft-bench"
+let schema_version = 1
+
+type entry = { name : string; ns_per_run : float }
+
+type t = {
+  meta : (string * string) list;
+  benches : entry list;
+  profile : (string * int) list;
+}
+
+(* --- emitter ---------------------------------------------------------- *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let to_json ?(strip_meta = false) t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n  \"schema\": \"%s\",\n  \"version\": %d,\n" schema_name
+    schema_version;
+  let meta = if strip_meta then [] else List.sort compare t.meta in
+  Buffer.add_string b "  \"meta\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_add_json_string b k;
+      Buffer.add_string b ": ";
+      buf_add_json_string b v)
+    meta;
+  if meta <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "},\n  \"benches\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    { \"name\": ";
+      buf_add_json_string b e.name;
+      Printf.bprintf b ", \"ns_per_run\": %.6f }" e.ns_per_run)
+    t.benches;
+  if t.benches <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "],\n  \"profile\": [";
+  List.iteri
+    (fun i (phase, self_ns) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    { \"phase\": ";
+      buf_add_json_string b phase;
+      Printf.bprintf b ", \"self_ns\": %d }" self_ns)
+    t.profile;
+  if t.profile <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Buffer.contents b
+
+(* --- parser ----------------------------------------------------------- *)
+
+type json =
+  | Jnull
+  | Jbool of bool
+  | Jnum of float
+  | Jstr of string
+  | Jarr of json list
+  | Jobj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+        incr pos;
+        Buffer.contents b
+      | '\\' ->
+        incr pos;
+        if !pos >= n then fail "unterminated escape";
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          (* Our emitter only writes \u for control characters; decode
+             the ASCII range and flatten anything wider to '?'. *)
+          if !pos + 4 >= n then fail "short \\u escape";
+          let code =
+            match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+            | Some c -> c
+            | None -> fail "bad \\u escape"
+          in
+          Buffer.add_char b (if code < 0x80 then Char.chr code else '?');
+          pos := !pos + 4
+        | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        incr pos;
+        go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        incr pos;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d = ref 0 in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos;
+        incr d
+      done;
+      !d
+    in
+    if digits () = 0 then fail "expected digits";
+    if peek () = Some '.' then begin
+      incr pos;
+      if digits () = 0 then fail "expected fraction digits"
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      if digits () = 0 then fail "expected exponent digits"
+    | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Jobj []
+      end
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Jobj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Jarr []
+      end
+      else
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Jarr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elems []
+    | Some '"' -> Jstr (parse_string ())
+    | Some 't' -> literal "true" (Jbool true)
+    | Some 'f' -> literal "false" (Jbool false)
+    | Some 'n' -> literal "null" Jnull
+    | Some _ -> Jnum (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing bytes at %d" !pos)
+    else Ok v
+  with Parse_error m -> Error m
+
+(* --- document extraction ---------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let obj_field fields k =
+  match List.assoc_opt k fields with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let as_str what = function
+  | Jstr s -> Ok s
+  | _ -> Error (what ^ " is not a string")
+
+let as_num what = function
+  | Jnum f -> Ok f
+  | _ -> Error (what ^ " is not a number")
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let of_json doc =
+  let* v = parse_json doc in
+  let* fields =
+    match v with Jobj f -> Ok f | _ -> Error "document is not an object"
+  in
+  let* schema =
+    let* v = obj_field fields "schema" in
+    as_str "schema" v
+  in
+  let* () =
+    if schema = schema_name then Ok ()
+    else Error (Printf.sprintf "schema is %S, want %S" schema schema_name)
+  in
+  let* version =
+    let* v = obj_field fields "version" in
+    as_num "version" v
+  in
+  let* () =
+    if version = float_of_int schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema version %g, this reader wants %d" version
+           schema_version)
+  in
+  let* meta =
+    let* v = obj_field fields "meta" in
+    match v with
+    | Jobj kvs ->
+      map_result
+        (fun (k, v) ->
+          let* s = as_str ("meta." ^ k) v in
+          Ok (k, s))
+        kvs
+    | _ -> Error "meta is not an object"
+  in
+  let* benches =
+    let* v = obj_field fields "benches" in
+    match v with
+    | Jarr items ->
+      map_result
+        (fun item ->
+          match item with
+          | Jobj f ->
+            let* name =
+              let* v = obj_field f "name" in
+              as_str "bench name" v
+            in
+            let* ns_per_run =
+              let* v = obj_field f "ns_per_run" in
+              as_num ("ns_per_run of " ^ name) v
+            in
+            Ok { name; ns_per_run }
+          | _ -> Error "benches entry is not an object")
+        items
+    | _ -> Error "benches is not an array"
+  in
+  let* profile =
+    let* v = obj_field fields "profile" in
+    match v with
+    | Jarr items ->
+      map_result
+        (fun item ->
+          match item with
+          | Jobj f ->
+            let* phase =
+              let* v = obj_field f "phase" in
+              as_str "profile phase" v
+            in
+            let* self_ns =
+              let* v = obj_field f "self_ns" in
+              as_num ("self_ns of " ^ phase) v
+            in
+            Ok (phase, int_of_float self_ns)
+          | _ -> Error "profile entry is not an object")
+        items
+    | _ -> Error "profile is not an array"
+  in
+  Ok { meta; benches; profile }
+
+(* --- semantic checks -------------------------------------------------- *)
+
+let check t =
+  let* () = if t.benches = [] then Error "no benchmarks in report" else Ok () in
+  let* () =
+    match List.find_opt (fun e -> e.name = "") t.benches with
+    | Some _ -> Error "empty benchmark name"
+    | None -> Ok ()
+  in
+  let names = List.map (fun e -> e.name) t.benches in
+  let* () =
+    if List.length (List.sort_uniq String.compare names) = List.length names
+    then Ok ()
+    else Error "duplicate benchmark name"
+  in
+  let* () =
+    match
+      List.find_opt
+        (fun e ->
+          (not (Float.is_finite e.ns_per_run)) || e.ns_per_run < 0.0)
+        t.benches
+    with
+    | Some e -> Error (Printf.sprintf "bad estimate for %s" e.name)
+    | None -> Ok ()
+  in
+  match List.find_opt (fun (_, self) -> self < 0) t.profile with
+  | Some (phase, _) -> Error (Printf.sprintf "negative self_ns for %s" phase)
+  | None -> Ok ()
+
+(* --- regression gate -------------------------------------------------- *)
+
+let meta_rev t =
+  match List.assoc_opt "git_rev" t.meta with Some r -> r | None -> "?"
+
+(* A benchmark only gates when both sides carry it with a positive
+   baseline: names may come and go between revisions, and a zero
+   baseline makes the relative delta meaningless. *)
+let delta_table ~threshold_pct ~baseline ~current =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "bench-delta: baseline %s -> current %s (gate: +%.1f%%)\n"
+    (meta_rev baseline) (meta_rev current) threshold_pct;
+  Printf.bprintf b "  %-36s %14s %14s %9s\n" "benchmark" "baseline ns"
+    "current ns" "delta";
+  let regressions = ref 0 in
+  List.iter
+    (fun cur ->
+      match
+        List.find_opt (fun e -> e.name = cur.name) baseline.benches
+      with
+      | Some old when old.ns_per_run > 0.0 ->
+        let delta =
+          (cur.ns_per_run -. old.ns_per_run) /. old.ns_per_run *. 100.0
+        in
+        let regressed = delta > threshold_pct in
+        if regressed then incr regressions;
+        Printf.bprintf b "  %-36s %14.1f %14.1f %+8.1f%%%s\n" cur.name
+          old.ns_per_run cur.ns_per_run delta
+          (if regressed then "  <-- regression" else "")
+      | Some old ->
+        Printf.bprintf b "  %-36s %14.1f %14.1f %9s\n" cur.name old.ns_per_run
+          cur.ns_per_run "n/a"
+      | None ->
+        Printf.bprintf b "  %-36s %14s %14.1f %9s\n" cur.name "-"
+          cur.ns_per_run "new")
+    current.benches;
+  List.iter
+    (fun old ->
+      if not (List.exists (fun e -> e.name = old.name) current.benches) then
+        Printf.bprintf b "  %-36s %14.1f %14s %9s\n" old.name old.ns_per_run
+          "-" "gone")
+    baseline.benches;
+  Printf.bprintf b "  regressions past threshold: %d (gate: %s)\n" !regressions
+    (if !regressions = 0 then "pass" else "FAIL");
+  (Buffer.contents b, !regressions = 0)

@@ -1,0 +1,52 @@
+(** The versioned BENCH_*.json perf-trajectory artifact.
+
+    A report is the durable record of one benchmark run: the Bechamel
+    ns/run estimates (one per paper table/figure microbench), the phase
+    self-time breakdown of one profiled protected run
+    ([Obs.Profile]-attributed, simulated time, deterministic), and a
+    free-form metadata block (git revision, PARALLAFT_QUICK/SCALE,
+    host). Reports serialize to a schema-versioned JSON file named
+    BENCH_v<version>_<rev>.json so a perf trajectory can be kept in
+    version control and regressions gated in CI.
+
+    The JSON layer is self-contained — emitted and parsed here with no
+    external dependency — and the emitter is deterministic: equal
+    reports produce byte-identical documents, which is what the
+    parallel-sweep differential test pins (modulo [strip_meta]). *)
+
+val schema_name : string
+(** ["parallaft-bench"], pinned in the document's ["schema"] field. *)
+
+val schema_version : int
+(** Bumped on any incompatible artifact change; parsing rejects
+    mismatches so a stale trajectory file fails loudly. *)
+
+type entry = { name : string; ns_per_run : float }
+
+type t = {
+  meta : (string * string) list;  (** free-form, key-sorted on emit *)
+  benches : entry list;
+  profile : (string * int) list;
+      (** (phase, self_ns) rows, as in [Stats.profile] *)
+}
+
+val to_json : ?strip_meta:bool -> t -> string
+(** Deterministic pretty-printed document. [strip_meta] drops the
+    metadata block (git rev, host, ...) so two artifacts from the same
+    simulated run compare byte-identical regardless of where they were
+    produced. *)
+
+val of_json : string -> (t, string) result
+(** Parse a document produced by {!to_json} (or hand-edited: any
+    whitespace, any key order, escapes and exponents accepted). Fails on
+    malformed JSON, a wrong ["schema"], or a version mismatch. *)
+
+val check : t -> (unit, string) result
+(** Semantic validation: at least one benchmark, unique non-empty names,
+    finite non-negative estimates and self-times. *)
+
+val delta_table : threshold_pct:float -> baseline:t -> current:t -> string * bool
+(** Per-benchmark delta table between two reports, plus the gate
+    verdict: [false] iff some benchmark slowed down by strictly more
+    than [threshold_pct] percent. Benchmarks present on only one side
+    are listed but never gate (names may evolve between revisions). *)

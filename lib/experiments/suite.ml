@@ -30,7 +30,18 @@ let sweep ?obs ~platform ~scale ~quick () =
       (fun bench ->
         Obs.Log.progress "  [sweep %s] %s..." platform.Platform.name
           bench.Workloads.Spec.name;
-        let task_obs = Option.map (fun _ -> Obs.Sink.create ()) obs in
+        let task_obs =
+          Option.map
+            (fun (parent : Obs.Sink.t) ->
+              let s = Obs.Sink.create () in
+              (* Profiling is opt-in on the caller's sink; each private
+                 task sink must inherit the choice or the merged profile
+                 would silently stay empty. *)
+              if Obs.Profile.enabled parent.Obs.Sink.profile then
+                Obs.Profile.set_enabled s.Obs.Sink.profile true;
+              s)
+            obs
+        in
         let run mode = Measure.run_benchmark ?obs:task_obs ~platform ~mode ~scale bench in
         let baseline = run Measure.Baseline in
         let parallaft =

@@ -18,6 +18,8 @@ type run_result = {
   stop : stop_reason;
   user_cycles : int;
   sys_cycles : int;
+  insns_retired : int;
+  blocks_retired : int;
 }
 
 type env = {
@@ -203,6 +205,7 @@ let run t ~env ~max_cycles =
   let regs = t.regs in
   let user = ref 0 and sys = ref 0 in
   let base_cycles = t.user_cycles + t.sys_cycles in
+  let insns0 = t.instructions and branches0 = t.branches in
   let is_trap_stop = function
     | Syscall_stop | Nondet_stop _ | Breakpoint_stop | Counter_overflow_stop
     | Cycle_overflow_stop | Insn_overflow_stop | Fault_stop _ ->
@@ -388,4 +391,13 @@ let run t ~env ~max_cycles =
   if is_trap_stop stop then trap_overcount t;
   t.user_cycles <- t.user_cycles + !user;
   t.sys_cycles <- t.sys_cycles + !sys;
-  { stop; user_cycles = !user; sys_cycles = !sys }
+  {
+    stop;
+    user_cycles = !user;
+    sys_cycles = !sys;
+    (* Deltas over this run call, as the counters report them — the
+       insn delta includes the trap overcount noise, like the hardware
+       counter the profiler would batch-read. *)
+    insns_retired = t.instructions - insns0;
+    blocks_retired = t.branches - branches0;
+  }

@@ -47,6 +47,11 @@ type run_result = {
   stop : stop_reason;
   user_cycles : int;  (** execution cycles consumed by this run call *)
   sys_cycles : int;  (** kernel-side cycles (COW page copies) consumed *)
+  insns_retired : int;
+      (** instruction-counter delta over this run call, trap overcount
+          noise included — what a batched hot-path profiler read of the
+          hardware counter would report *)
+  blocks_retired : int;  (** branch (basic-block) counter delta *)
 }
 
 (** Per-run execution environment, supplied by the scheduler. *)

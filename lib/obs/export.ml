@@ -33,8 +33,16 @@ let track_label (track : Trace.track) =
 
 (* Timestamps are microseconds in the trace_event format; print the
    simulated nanoseconds as a fixed-point "us.nnn" so the exporter is
-   exact and byte-deterministic. *)
-let buf_add_ts b ts_ns = Buffer.add_string b (Printf.sprintf "%d.%03d" (ts_ns / 1000) (ts_ns mod 1000))
+   exact and byte-deterministic. The fraction is emitted digit by digit
+   so sub-microsecond stamps (ts_ns < 1000) keep their three-digit
+   alignment: 5 ns is "0.005", never "0.5". *)
+let buf_add_ts b ts_ns =
+  let us = ts_ns / 1000 and frac = ts_ns mod 1000 in
+  Buffer.add_string b (string_of_int us);
+  Buffer.add_char b '.';
+  if frac < 100 then Buffer.add_char b '0';
+  if frac < 10 then Buffer.add_char b '0';
+  Buffer.add_string b (string_of_int frac)
 
 let buf_add_args b (args : (string * Trace.arg) list) =
   Buffer.add_char b '{';

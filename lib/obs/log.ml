@@ -13,11 +13,17 @@ let quiet_flag =
 let quiet () = Atomic.get quiet_flag
 let set_quiet q = Atomic.set quiet_flag q
 
+(* Long campaigns print hundreds of progress lines; prefixing each with
+   the wall-time elapsed since startup makes throughput drift visible at
+   a glance without a stopwatch. *)
+let start_time = Unix.gettimeofday ()
+
 let progress fmt =
   Printf.ksprintf
     (fun line ->
       if not (Atomic.get quiet_flag) then begin
-        output_string stderr (line ^ "\n");
+        let elapsed = Unix.gettimeofday () -. start_time in
+        output_string stderr (Printf.sprintf "[%7.1fs] %s\n" elapsed line);
         flush stderr
       end)
     fmt

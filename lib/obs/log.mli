@@ -14,4 +14,6 @@ val set_quiet : bool -> unit
 
 val progress : ('a, unit, string, unit) format4 -> 'a
 (** Like [Printf.eprintf] with an implicit trailing newline and flush;
-    swallowed entirely when quiet. *)
+    swallowed entirely when quiet. Each line is prefixed with the
+    wall-time elapsed since process start ([\[   12.3s\] ...]) so long
+    campaigns show drift at a glance. *)

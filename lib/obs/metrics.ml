@@ -72,6 +72,7 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 type t = {
@@ -124,6 +125,7 @@ let summarize h =
     p50 = Hist.percentile h 50.0;
     p90 = Hist.percentile h 90.0;
     p99 = Hist.percentile h 99.0;
+    p999 = Hist.percentile h 99.9;
   }
 
 let sorted_bindings tbl f =
@@ -155,7 +157,7 @@ let to_text t =
       Buffer.add_string b
         (Printf.sprintf
            "hist %s count=%d min=%.3f mean=%.3f p50=%.3f p90=%.3f p99=%.3f \
-            max=%.3f sum=%.3f\n"
-           name s.count s.min s.mean s.p50 s.p90 s.p99 s.max s.sum))
+            p99.9=%.3f max=%.3f sum=%.3f\n"
+           name s.count s.min s.mean s.p50 s.p90 s.p99 s.p999 s.max s.sum))
     (histograms t);
   Buffer.contents b

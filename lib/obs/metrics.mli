@@ -37,6 +37,7 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 type t
@@ -74,4 +75,5 @@ val merge_into : t -> t list -> unit
 
 val to_text : t -> string
 (** Plain-text dump: one [counter NAME VALUE] line per counter, one
-    [hist NAME count/min/mean/p50/p90/p99/max/sum] line per histogram. *)
+    [hist NAME count/min/mean/p50/p90/p99/p99.9/max/sum] line per
+    histogram. *)

@@ -1,14 +1,22 @@
 type t = {
   trace : Trace.t;
   metrics : Metrics.t;
+  profile : Profile.t;
 }
 
 let create ?trace_capacity () =
-  { trace = Trace.create ?capacity:trace_capacity (); metrics = Metrics.create () }
+  {
+    trace = Trace.create ?capacity:trace_capacity ();
+    metrics = Metrics.create ();
+    profile = Profile.create ();
+  }
 
 let set_enabled t on =
   Trace.set_enabled t.trace on;
-  Metrics.set_enabled t.metrics on
+  Metrics.set_enabled t.metrics on;
+  (* The profiler is opt-in on top of the sink: disabling the sink
+     disables it, but re-enabling the sink never auto-enables it. *)
+  if not on then Profile.set_enabled t.profile false
 
 let enabled t = Trace.enabled t.trace
 
@@ -17,8 +25,42 @@ let emit t ~ts_ns ~track ~phase ?args name =
 
 let merge_into dst srcs =
   Trace.merge_into dst.trace (List.map (fun s -> s.trace) srcs);
-  Metrics.merge_into dst.metrics (List.map (fun s -> s.metrics) srcs)
+  Metrics.merge_into dst.metrics (List.map (fun s -> s.metrics) srcs);
+  Profile.merge_into dst.profile (List.map (fun s -> s.profile) srcs)
 
 let observe t name v = Metrics.observe t.metrics name v
 let add t name n = Metrics.add t.metrics name n
-let incr t name = Metrics.incr t.metrics name
+let incr t name = add t name 1
+
+(* Every phase transition also lands in the trace as a Perfetto counter
+   track sample ("ph":"C") named "profile.<phase>" carrying the phase's
+   cumulative self-time, so the breakdown can be eyeballed next to the
+   spans.  Only when the profiler is on — with it off, the trace stays
+   byte-identical to an unprofiled run. *)
+let counter_emit t ~ts_ns name self =
+  Trace.emit t.trace ~ts_ns ~track:Trace.Run ~phase:Trace.Counter
+    ~args:[ ("self_ns", Trace.Int self) ]
+    ("profile." ^ name)
+
+let phase_enter t ~ts_ns ~track ?segment name =
+  if Profile.enabled t.profile then
+    Profile.enter t.profile ~ts_ns ~track ?segment name
+
+let phase_leave t ~ts_ns ~track name =
+  if Profile.enabled t.profile then
+    match Profile.leave t.profile ~ts_ns ~track name with
+    | Some self -> counter_emit t ~ts_ns name self
+    | None -> ()
+
+let phase_add t ~ts_ns ~tracks ?segment name ns =
+  if Profile.enabled t.profile then
+    match Profile.add_ns t.profile ~tracks ?segment name ns with
+    | Some self -> counter_emit t ~ts_ns name self
+    | None -> ()
+
+let phase_units t ~tracks ~insns ~blocks =
+  if Profile.enabled t.profile then
+    Profile.add_units t.profile ~tracks ~insns ~blocks
+
+let phase_close_all t ~ts_ns =
+  if Profile.enabled t.profile then Profile.close_all t.profile ~ts_ns

@@ -7,12 +7,15 @@
 type t = {
   trace : Trace.t;
   metrics : Metrics.t;
+  profile : Profile.t;
 }
 
 val create : ?trace_capacity:int -> unit -> t
 
 val set_enabled : t -> bool -> unit
-(** Flip both the trace and the metrics registry. *)
+(** Flip both the trace and the metrics registry. Disabling also
+    disables the profiler; re-enabling does {e not} re-enable it (the
+    profiler is opt-in via [Profile.set_enabled]). *)
 
 val enabled : t -> bool
 
@@ -36,3 +39,29 @@ val merge_into : t -> t list -> unit
 val observe : t -> string -> float -> unit
 val add : t -> string -> int -> unit
 val incr : t -> string -> unit
+
+(** {2 Phase profiling}
+
+    Thin glue over {!Profile} that additionally mirrors every phase
+    transition into the trace as a ["profile.<name>"] counter-track
+    sample ([Trace.Counter], exported as ["ph":"C"]) carrying the
+    cumulative self-time. All of these are no-ops while the profiler is
+    disabled, so traces and goldens are byte-identical unless profiling
+    was explicitly requested. *)
+
+val phase_enter :
+  t -> ts_ns:int -> track:Trace.track -> ?segment:int -> string -> unit
+
+val phase_leave : t -> ts_ns:int -> track:Trace.track -> string -> unit
+
+val phase_add :
+  t ->
+  ts_ns:int ->
+  tracks:Trace.track list ->
+  ?segment:int ->
+  string ->
+  int ->
+  unit
+
+val phase_units : t -> tracks:Trace.track list -> insns:int -> blocks:int -> unit
+val phase_close_all : t -> ts_ns:int -> unit

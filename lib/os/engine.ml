@@ -392,6 +392,15 @@ let fork_process t parent_pid =
     "fork";
   obs_observe t "fork.cost_ns" cost_ns;
   obs_observe t "fork.pages" (float_of_int mapped);
+  (* Phase attribution: the page-table copy is a zero-width charge
+     against whatever phase scope is open for the forking process (its
+     core's timeline first, its pid track second). *)
+  (match t.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.phase_add s ~ts_ns:(time_ns t)
+      ~tracks:[ Obs.Trace.Core parent.core; Obs.Trace.Proc parent_pid ]
+      "fork" (int_of_float cost_ns));
   charge_sys_cycles t parent_pid cycles;
   pid
 
@@ -749,6 +758,16 @@ let run_core t core =
               let res = Machine.Cpu.run p.cpu ~env ~max_cycles:avail in
               let user_ns = float_of_int res.Machine.Cpu.user_cycles *. 1e9 /. eff_hz in
               let sys_ns = float_of_int res.Machine.Cpu.sys_cycles *. 1e9 /. eff_hz in
+              (* Batched hot-path counters: one call per Cpu.run burst
+                 (not per instruction) credits the retired work to the
+                 pid's open phase scope, falling back to the core's. *)
+              (match t.obs with
+              | None -> ()
+              | Some s ->
+                Obs.Sink.phase_units s
+                  ~tracks:[ Obs.Trace.Proc pid; Obs.Trace.Core core.core_id ]
+                  ~insns:res.Machine.Cpu.insns_retired
+                  ~blocks:res.Machine.Cpu.blocks_retired);
               p.user_ns <- p.user_ns +. user_ns;
               p.sys_ns <- p.sys_ns +. sys_ns;
               core.busy_ns <- core.busy_ns +. user_ns +. sys_ns;

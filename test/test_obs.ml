@@ -28,8 +28,9 @@ let contains ~needle hay =
   nl = 0 || go 0
 
 let run_with_sink ?fault_plan ?(recovery = false) ?(recheck = false)
-    ?(seed = 42L) () =
+    ?(profile = false) ?(seed = 42L) () =
   let sink = Obs.Sink.create () in
+  if profile then Obs.Profile.set_enabled sink.Obs.Sink.profile true;
   let config =
     {
       (Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()) with
@@ -97,6 +98,25 @@ let test_hist_edge_cases () =
     (Obs.Metrics.Hist.percentile one 50.);
   Alcotest.(check (float 0.)) "singleton p99" 7.
     (Obs.Metrics.Hist.percentile one 99.)
+
+let test_metrics_text_names_quantiles () =
+  let s = Obs.Sink.create () in
+  for i = 1 to 1000 do
+    Obs.Sink.observe s "lat" (float_of_int i)
+  done;
+  let text = Obs.Metrics.to_text s.Obs.Sink.metrics in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (q ^ " column present") true (contains ~needle:q text))
+    [ "count="; "min="; "mean="; "p50="; "p90="; "p99="; "p99.9="; "max=" ];
+  (* the tail quantiles are ordered: p99 <= p99.9 <= max *)
+  match Obs.Metrics.hist s.Obs.Sink.metrics "lat" with
+  | None -> Alcotest.fail "lat histogram missing"
+  | Some h ->
+    let p99 = Obs.Metrics.Hist.percentile h 99. in
+    let p999 = Obs.Metrics.Hist.percentile h 99.9 in
+    Alcotest.(check bool) "p99 <= p99.9" true (p99 <= p999);
+    Alcotest.(check bool) "p99.9 <= max" true (p999 <= Obs.Metrics.Hist.max h)
 
 (* {2 Disabled sink through a full run} *)
 
@@ -300,6 +320,42 @@ let test_chrome_json_is_valid_json () =
   Alcotest.(check bool) "has traceEvents key" true
     (contains ~needle:"\"traceEvents\"" json)
 
+(* Pin the exporter's exact bytes for one event of every phase kind,
+   with sub-microsecond timestamps: the trace_event "ts" field is
+   microseconds, so 5 ns must render as "0.005" (three-digit fraction),
+   never "0.5". Any formatting drift — field order, padding, separators
+   — breaks the committed trace goldens, so catch it here with a
+   readable diff first. *)
+let test_export_bytes_pinned () =
+  let t = Obs.Trace.create ~capacity:16 () in
+  Obs.Trace.emit t ~ts_ns:5 ~track:(Obs.Trace.Core 0) ~phase:Obs.Trace.Begin
+    "record";
+  Obs.Trace.emit t ~ts_ns:42 ~track:Obs.Trace.Run ~phase:Obs.Trace.Counter
+    ~args:[ ("self_ns", Obs.Trace.Int 7) ]
+    "profile.record";
+  Obs.Trace.emit t ~ts_ns:999 ~track:(Obs.Trace.Core 0) ~phase:Obs.Trace.Instant
+    "mark";
+  Obs.Trace.emit t ~ts_ns:1005 ~track:(Obs.Trace.Core 0) ~phase:Obs.Trace.End
+    "record";
+  let expected =
+    String.concat "\n"
+      [
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"cores\"}},";
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"runtime\"}},";
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"core 0\"}},";
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"run\"}},";
+        "{\"name\":\"record\",\"ph\":\"B\",\"ts\":0.005,\"pid\":0,\"tid\":0},";
+        "{\"name\":\"profile.record\",\"ph\":\"C\",\"ts\":0.042,\"pid\":2,\"tid\":0,\"args\":{\"self_ns\":7}},";
+        "{\"name\":\"mark\",\"ph\":\"i\",\"ts\":0.999,\"pid\":0,\"tid\":0,\"s\":\"t\"},";
+        "{\"name\":\"record\",\"ph\":\"E\",\"ts\":1.005,\"pid\":0,\"tid\":0}";
+        "]}";
+        "";
+      ]
+  in
+  Alcotest.(check string) "exporter bytes pinned" expected
+    (Obs.Export.chrome_json t)
+
 (* {2 Span balance under abort and rollback}
 
    Checkers torn down by recover/abort_run never reach finish_checker;
@@ -407,6 +463,175 @@ let test_detections_oldest_first () =
   | [ (1, _); (2, _) ] -> ()
   | _ -> Alcotest.fail "detections_oldest_first should be chronological"
 
+(* {2 Phase-attribution profiler} *)
+
+let test_profile_disabled_is_noop () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.enter p ~ts_ns:0 ~track:(Obs.Trace.Core 0) "record";
+  Alcotest.(check bool) "leave returns None" true
+    (Obs.Profile.leave p ~ts_ns:10 ~track:(Obs.Trace.Core 0) "record" = None);
+  Alcotest.(check bool) "add_ns returns None" true
+    (Obs.Profile.add_ns p ~tracks:[ Obs.Trace.Run ] "compare" 5 = None);
+  Alcotest.(check int) "no phases recorded" 0
+    (List.length (Obs.Profile.phases p))
+
+let test_profile_self_time_nesting () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.set_enabled p true;
+  let core = Obs.Trace.Core 0 in
+  Obs.Profile.enter p ~ts_ns:0 ~track:core ~segment:0 "record";
+  Obs.Profile.enter p ~ts_ns:10 ~track:core "main_held";
+  Alcotest.(check (option int)) "nested scope self" (Some 20)
+    (Obs.Profile.leave p ~ts_ns:30 ~track:core "main_held");
+  Alcotest.(check (option int)) "zero-width charge" (Some 5)
+    (Obs.Profile.add_ns p ~tracks:[ core ] ~segment:0 "compare" 5);
+  (* record's self excludes both the nested scope and the charge *)
+  Alcotest.(check (option int)) "outer self = elapsed - children" (Some 75)
+    (Obs.Profile.leave p ~ts_ns:100 ~track:core "record");
+  let phases = Obs.Profile.phases p in
+  let get n =
+    match List.assoc_opt n phases with
+    | Some s -> s
+    | None -> Alcotest.fail ("missing phase " ^ n)
+  in
+  Alcotest.(check int) "record total is inclusive" 100 (get "record").Obs.Profile.total_ns;
+  Alcotest.(check bool) "core scopes are wall phases" true
+    ((get "record").Obs.Profile.wall && (get "main_held").Obs.Profile.wall);
+  Alcotest.(check bool) "charges are work phases" false
+    (get "compare").Obs.Profile.wall;
+  Alcotest.(check int) "wall partition sums scope selves" 95
+    (Obs.Profile.wall_attributed_ns p);
+  Alcotest.(check bool) "segment attribution" true
+    (Obs.Profile.per_segment p = [ (0, [ ("compare", 5); ("record", 75) ]) ])
+
+let test_profile_close_all () =
+  let p = Obs.Profile.create () in
+  Obs.Profile.set_enabled p true;
+  Obs.Profile.enter p ~ts_ns:0 ~track:(Obs.Trace.Core 0) "record";
+  Obs.Profile.enter p ~ts_ns:5 ~track:(Obs.Trace.Proc 1) "replay";
+  Obs.Profile.add_units p
+    ~tracks:[ Obs.Trace.Proc 1; Obs.Trace.Core 0 ]
+    ~insns:100 ~blocks:7;
+  Obs.Profile.close_all p ~ts_ns:50;
+  let phases = Obs.Profile.phases p in
+  let self n =
+    match List.assoc_opt n phases with
+    | Some s -> s.Obs.Profile.self_ns
+    | None -> -1
+  in
+  Alcotest.(check int) "record closed at teardown" 50 (self "record");
+  Alcotest.(check int) "replay closed at teardown" 45 (self "replay");
+  (match List.assoc_opt "replay" phases with
+  | Some s ->
+    Alcotest.(check int) "units credited to innermost scope" 100
+      s.Obs.Profile.insns;
+    Alcotest.(check int) "blocks too" 7 s.Obs.Profile.blocks
+  | None -> Alcotest.fail "replay phase missing");
+  (* idempotent: nothing left open *)
+  Obs.Profile.close_all p ~ts_ns:99;
+  Alcotest.(check int) "second close_all changes nothing" 50 (self "record")
+
+let charges_gen =
+  QCheck.Gen.(
+    list_size (0 -- 20)
+      (triple
+         (oneofl [ "record"; "replay"; "compare"; "fork" ])
+         (0 -- 1000)
+         (opt (0 -- 3))))
+
+let profiler_of charges =
+  let p = Obs.Profile.create () in
+  Obs.Profile.set_enabled p true;
+  List.iter
+    (fun (name, ns, seg) ->
+      ignore (Obs.Profile.add_ns p ~tracks:[ Obs.Trace.Run ] ?segment:seg name ns))
+    charges;
+  p
+
+let profile_fingerprint p = (Obs.Profile.phases p, Obs.Profile.per_segment p)
+
+let qcheck_profile_merge =
+  QCheck.Test.make ~name:"profile merge is order-independent and associative"
+    ~count:200
+    (QCheck.make QCheck.Gen.(triple charges_gen charges_gen charges_gen))
+    (fun (ca, cb, cc) ->
+      let pa = profiler_of ca and pb = profiler_of cb and pc = profiler_of cc in
+      let merged srcs =
+        let d = Obs.Profile.create () in
+        Obs.Profile.merge_into d srcs;
+        d
+      in
+      let direct = merged [ pa; pb; pc ] in
+      let permuted = merged [ pc; pa; pb ] in
+      let nested = merged [ merged [ pa; pb ]; pc ] in
+      profile_fingerprint direct = profile_fingerprint permuted
+      && profile_fingerprint direct = profile_fingerprint nested)
+
+(* {2 Profiler through a full run} *)
+
+let test_profiled_run_attribution () =
+  let r, sink = run_with_sink ~profile:true () in
+  let p = sink.Obs.Sink.profile in
+  let phases = Obs.Profile.phases p in
+  Alcotest.(check bool) "phases recorded" true (phases <> []);
+  let wall = r.Parallaft.Runtime.wall_ns in
+  let attributed = Obs.Profile.wall_attributed_ns p in
+  Alcotest.(check bool) "wall partition within run wall-time" true
+    (attributed > 0 && attributed <= wall);
+  (* the stats surface mirrors the profiler exactly *)
+  Alcotest.(check bool) "stats profile rows match" true
+    (List.map (fun (n, s) -> (n, s.Obs.Profile.self_ns)) phases
+    = r.Parallaft.Runtime.stats.Parallaft.Stats.profile);
+  (* per-segment attribution sums back to the aggregate for the phases
+     whose every scope carries a segment *)
+  let seg_sum name =
+    List.fold_left
+      (fun acc (_, rows) ->
+        acc + (match List.assoc_opt name rows with Some n -> n | None -> 0))
+      0 (Obs.Profile.per_segment p)
+  in
+  let agg name =
+    match List.assoc_opt name phases with
+    | Some s -> s.Obs.Profile.self_ns
+    | None -> Alcotest.fail ("missing phase " ^ name)
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (n ^ " per-segment sums to aggregate") (agg n)
+        (seg_sum n))
+    [ "record"; "replay" ];
+  (* the hot-path unit counters attributed work to the record phase *)
+  (match List.assoc_opt "record" phases with
+  | Some s ->
+    Alcotest.(check bool) "record retired instructions" true
+      (s.Obs.Profile.insns > 0 && s.Obs.Profile.blocks > 0)
+  | None -> Alcotest.fail "record phase missing");
+  (* counter tracks land in the export and it stays valid JSON *)
+  let json = Obs.Export.chrome_json sink.Obs.Sink.trace in
+  (match validate_json json with
+  | () -> ()
+  | exception Failure m -> Alcotest.fail ("invalid JSON with profiling: " ^ m));
+  Alcotest.(check bool) "profile counter track present" true
+    (contains ~needle:"\"name\":\"profile.record\",\"ph\":\"C\"" json)
+
+let test_profiled_run_deterministic () =
+  let r1, s1 = run_with_sink ~profile:true ~seed:7L () in
+  let r2, s2 = run_with_sink ~profile:true ~seed:7L () in
+  Alcotest.(check string) "equal seeds give identical breakdowns"
+    (Obs.Profile.to_table s1.Obs.Sink.profile
+       ~wall_ns:r1.Parallaft.Runtime.wall_ns)
+    (Obs.Profile.to_table s2.Obs.Sink.profile
+       ~wall_ns:r2.Parallaft.Runtime.wall_ns)
+
+let test_profile_off_leaves_run_untouched () =
+  let r, sink = run_with_sink () in
+  Alcotest.(check bool) "no profile.* events in trace" false
+    (contains ~needle:"profile." (Obs.Export.chrome_json sink.Obs.Sink.trace));
+  Alcotest.(check int) "no phases recorded" 0
+    (List.length (Obs.Profile.phases sink.Obs.Sink.profile));
+  Alcotest.(check bool) "no profile stats rows" true
+    (r.Parallaft.Runtime.stats.Parallaft.Stats.profile = [])
+
 (* {2 Sink merging (parallel fan-out support)} *)
 
 let task_sink i =
@@ -480,6 +705,8 @@ let () =
           Alcotest.test_case "percentile math" `Quick test_hist_percentiles;
           Alcotest.test_case "percentile edge cases" `Quick
             test_hist_edge_cases;
+          Alcotest.test_case "text dump names its quantiles" `Quick
+            test_metrics_text_names_quantiles;
         ] );
       ( "runtime",
         [
@@ -493,6 +720,24 @@ let () =
             test_trace_contains_detection;
           Alcotest.test_case "chrome export is valid JSON" `Quick
             test_chrome_json_is_valid_json;
+          Alcotest.test_case "exporter bytes pinned" `Quick
+            test_export_bytes_pinned;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "disabled profiler is a no-op" `Quick
+            test_profile_disabled_is_noop;
+          Alcotest.test_case "self-time excludes children" `Quick
+            test_profile_self_time_nesting;
+          Alcotest.test_case "close_all retires open scopes" `Quick
+            test_profile_close_all;
+          QCheck_alcotest.to_alcotest qcheck_profile_merge;
+          Alcotest.test_case "full-run attribution adds up" `Quick
+            test_profiled_run_attribution;
+          Alcotest.test_case "profiled runs are deterministic" `Quick
+            test_profiled_run_deterministic;
+          Alcotest.test_case "profiling off leaves the run untouched" `Quick
+            test_profile_off_leaves_run_untouched;
         ] );
       ( "teardown",
         [

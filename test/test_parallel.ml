@@ -43,16 +43,42 @@ let timed f =
 let sweep_at jobs =
   Util.Pool.set_jobs jobs;
   let obs = Obs.Sink.create () in
+  (* Profiling on: the per-task profiles must merge back deterministically
+     just like the trace and the metrics. *)
+  Obs.Profile.set_enabled obs.Obs.Sink.profile true;
   let rows, dt =
     timed (fun () ->
         Experiments.Suite.sweep ~obs ~platform ~scale ~quick:true ())
   in
   let serialized = String.concat "\n" (List.map row_to_string rows) in
-  (serialized, obs, dt)
+  (rows, serialized, obs, dt)
+
+(* A BENCH-style report built from the sweep's simulated-time results
+   (not wall-clock bechamel estimates), so it is exactly reproducible:
+   the -j differential below pins its serialized bytes. The metadata
+   block deliberately differs per width — strip_meta must mask it. *)
+let report_of ~jobs rows obs =
+  {
+    Experiments.Bench_report.meta =
+      [ ("git_rev", "test"); ("jobs", string_of_int jobs) ];
+    benches =
+      List.map
+        (fun (r : Experiments.Suite.row) ->
+          {
+            Experiments.Bench_report.name =
+              r.Experiments.Suite.bench.Workloads.Spec.name;
+            ns_per_run = r.Experiments.Suite.parallaft.Experiments.Measure.wall_ns;
+          })
+        rows;
+    profile =
+      List.map
+        (fun (n, (s : Obs.Profile.phase_summary)) -> (n, s.Obs.Profile.self_ns))
+        (Obs.Profile.phases obs.Obs.Sink.profile);
+  }
 
 let test_sweep_differential () =
-  let s1, obs1, t1 = sweep_at 1 in
-  let s4, obs4, t4 = sweep_at 4 in
+  let rows1, s1, obs1, t1 = sweep_at 1 in
+  let rows4, s4, obs4, t4 = sweep_at 4 in
   Util.Pool.set_jobs 1;
   Printf.printf "quick sweep wall time: -j 1 %.2fs, -j 4 %.2fs (%d cores)\n%!"
     t1 t4
@@ -67,6 +93,35 @@ let test_sweep_differential () =
   Alcotest.(check string) "merged metrics byte-identical"
     (Obs.Metrics.to_text obs1.Obs.Sink.metrics)
     (Obs.Metrics.to_text obs4.Obs.Sink.metrics);
+  Alcotest.(check bool) "profile non-trivial" true
+    (Obs.Profile.phases obs1.Obs.Sink.profile <> []);
+  Alcotest.(check string) "merged profile breakdown byte-identical"
+    (Obs.Profile.to_table obs1.Obs.Sink.profile ~wall_ns:1_000_000)
+    (Obs.Profile.to_table obs4.Obs.Sink.profile ~wall_ns:1_000_000);
+  (* The BENCH artifact built from either width serializes to the same
+     bytes once metadata is stripped; the full document round-trips
+     through the hand-rolled parser; and the two widths pass the
+     regression gate against each other at threshold 0 (any nonzero
+     delta anywhere would fail). *)
+  let rep1 = report_of ~jobs:1 rows1 obs1 in
+  let rep4 = report_of ~jobs:4 rows4 obs4 in
+  Alcotest.(check string) "BENCH json byte-identical modulo metadata"
+    (Experiments.Bench_report.to_json ~strip_meta:true rep1)
+    (Experiments.Bench_report.to_json ~strip_meta:true rep4);
+  let doc = Experiments.Bench_report.to_json rep1 in
+  (match Experiments.Bench_report.of_json doc with
+  | Error m -> Alcotest.fail ("BENCH json does not parse: " ^ m)
+  | Ok parsed ->
+    Alcotest.(check string) "BENCH json round-trips" doc
+      (Experiments.Bench_report.to_json parsed);
+    (match Experiments.Bench_report.check parsed with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail ("BENCH json fails check: " ^ m));
+    let _table, ok =
+      Experiments.Bench_report.delta_table ~threshold_pct:0.0 ~baseline:parsed
+        ~current:rep4
+    in
+    Alcotest.(check bool) "zero-threshold gate passes across -j widths" true ok);
   (* Speedup is only observable with real cores to spread over. *)
   if Domain.recommended_domain_count () >= 4 then
     Alcotest.(check bool)
