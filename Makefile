@@ -1,7 +1,8 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  fault-smoke bench-json bench-smoke invariants golden-check ci clean
+  fault-smoke bench-json bench-smoke bench-gate block-cache-smoke \
+  invariants golden-check ci clean
 
 all: build
 
@@ -83,7 +84,23 @@ bench-smoke: build
 	dune exec bench/main.exe -- --against /tmp/parallaft_bench.json \
 	  /tmp/parallaft_bench.json --threshold 0
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke bench-smoke
+# Perf-trajectory regression gate: fresh (quick-budget) bechamel run
+# diffed against the committed pre-block-cache baseline artifact. The
+# generous threshold absorbs host and quick-mode noise — the gate is
+# meant to catch order-of-magnitude interpreter regressions (e.g. the
+# block cache silently disabled), not single-digit drift. Only
+# regressions fail; improvements and added benches never do.
+BENCH_BASELINE := BENCH_v1_454ee2f.json
+bench-gate: build
+	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 dune exec bench/main.exe -- \
+	  --against $(BENCH_BASELINE) --threshold 400
+
+# The decoded-block cache observably on by default (hits > 0 on a real
+# run) and observably off under --block-cache 0 (all rows zero).
+block-cache-smoke: build
+	dune build @block-cache
+
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke bench-smoke bench-gate block-cache-smoke
 
 clean:
 	dune clean

@@ -89,6 +89,49 @@ let protected_run ?fault_plan config_of () =
 let parallaft_cfg () = Parallaft.Config.parallaft ~platform ~slice_period:30_000 ()
 let raft_cfg () = Parallaft.Config.raft ~platform ()
 
+(* Interpreter-bound fixture: a hot load/alu/store loop run to halt on a
+   bare CPU (no engine, no tracer), with the decoded-block cache on or
+   off. The on/off pair is what BENCH_*.json trajectory diffs gate: the
+   cached row has to keep beating both the uncached row and the pre-cache
+   baseline's interpreter speed. *)
+let interp_loop ~block_cache () =
+  let alloc = Mem.Frame.allocator ~page_size in
+  let aspace = Mem.Address_space.create alloc in
+  Mem.Address_space.map_range aspace ~addr:0 ~len:(4 * page_size)
+    Mem.Page_table.Read_write;
+  let program =
+    Isa.Asm.assemble_exn ~name:"interp_loop"
+      "li r1, 2000\n\
+       li r2, 0\n\
+       li r3, 0\n\
+       l:\n\
+       load r4, r2, 8\n\
+       add r4, r4, r1\n\
+       store r4, r2, 8\n\
+       add r3, r3, 1\n\
+       sub r1, r1, 1\n\
+       bne r1, r2, l\n\
+       halt"
+  in
+  let cpu =
+    Machine.Cpu.create ~block_cache ~rng:(Util.Rng.create ~seed:11L) ~program
+      ~aspace ()
+  in
+  let env =
+    {
+      Machine.Cpu.core_id = 0;
+      read_tsc = (fun () -> 0);
+      read_rand = (fun () -> 0);
+      mem_access = (fun ~write:_ ~frame:_ -> 0);
+      mem_access_cow = (fun ~frame:_ ~old_frame:_ -> 0);
+      cow_extra_cycles = 0;
+      mul_cycles = 3;
+      div_cycles = 12;
+    }
+  in
+  let res = Machine.Cpu.run cpu ~env ~max_cycles:max_int in
+  assert (res.Machine.Cpu.stop = Machine.Cpu.Halted)
+
 (* --- one microbench per table/figure --------------------------------- *)
 
 let tests =
@@ -221,6 +264,13 @@ let tests =
            in
            drive ();
            assert (Machine.Cpu.branches cpu = 4000)));
+    (* Interpreter core: the decoded-block cache's raison d'être. The
+       same hot loop dispatched from cached blocks vs re-decoded and
+       re-dispatched one instruction at a time. *)
+    Test.make ~name:"interp:block_cache_on"
+      (Staged.stage (fun () -> interp_loop ~block_cache:4096 ()));
+    Test.make ~name:"interp:block_cache_off"
+      (Staged.stage (fun () -> interp_loop ~block_cache:0 ()));
   ]
 
 (* Runs every microbench, prints the familiar table, and returns the
@@ -441,8 +491,29 @@ let run_json_mode () =
     print_string table;
     if not ok then exit 2
 
+(* Plain Sys.time A/B of the interpreter with the block cache on vs off
+   (bechamel-free, so it is cheap to run repeatedly while tuning the
+   dispatch loop). Informational: the trajectory gate is BENCH_*.json. *)
+let run_interp_timing () =
+  let reps = 200 in
+  let time ~block_cache =
+    (* warm up allocators etc. *)
+    interp_loop ~block_cache ();
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      interp_loop ~block_cache ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let off = time ~block_cache:0 in
+  let on_ = time ~block_cache:4096 in
+  Printf.printf
+    "interp-timing: cache off %.1f us/run, on %.1f us/run (%.2fx)\n" (off *. 1e6)
+    (on_ *. 1e6) (off /. on_)
+
 let () =
   if argv_flag "--compare-smoke" then run_compare_smoke ()
+  else if argv_flag "--interp-timing" then run_interp_timing ()
   else
     match argv_value "--check" with
     | Some path -> run_check path

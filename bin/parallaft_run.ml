@@ -67,7 +67,7 @@ let build_plan fault fault_target =
 
 let run platform_name mode_name period scale workload input asm_file seed
     show_output trace_file metrics_file fault fault_target recheck recovery
-    profile =
+    profile block_cache cpu_stats =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -144,11 +144,17 @@ let run platform_name mode_name period scale workload input asm_file seed
              (baseline runs no checker to inject into)";
           1
         | Mode_baseline ->
+          (* Keep the engine so --cpu-stats can read the block-cache
+             totals after the run; run_baseline itself only returns the
+             timing/energy summary. *)
+          let eng_ref = ref None in
           let before_run eng _pid =
+            eng_ref := Some eng;
             match sink with Some s -> Sim_os.Engine.set_obs eng s | None -> ()
           in
           let b =
-            Parallaft.Runtime.run_baseline ~seed ~before_run ~platform ~program ()
+            Parallaft.Runtime.run_baseline ~seed ?block_cache ~before_run
+              ~platform ~program ()
           in
           let dumped = dump_obs sink in
           Printf.printf "timing.all_wall_time %d\n" b.Parallaft.Runtime.wall_ns;
@@ -156,6 +162,15 @@ let run platform_name mode_name period scale workload input asm_file seed
           Printf.printf "timing.main_user_time %.0f\n" b.Parallaft.Runtime.user_ns;
           Printf.printf "timing.main_sys_time %.0f\n" b.Parallaft.Runtime.sys_ns;
           Printf.printf "hwmon.energy_joules %.6f\n" b.Parallaft.Runtime.energy_j;
+          (match !eng_ref with
+          | Some eng when cpu_stats ->
+            let hits, misses, invalidations =
+              Sim_os.Engine.block_cache_totals eng
+            in
+            Printf.printf "cpu.block_cache_hits %d\n" hits;
+            Printf.printf "cpu.block_cache_misses %d\n" misses;
+            Printf.printf "cpu.block_cache_invalidations %d\n" invalidations
+          | Some _ | None -> ());
           Printf.printf "exit_status %s\n"
             (match b.Parallaft.Runtime.exit_status with
             | Some s -> string_of_int s
@@ -176,7 +191,11 @@ let run platform_name mode_name period scale workload input asm_file seed
           in
           let config =
             { config with Parallaft.Config.obs = sink; fault_plan; recovery;
-              recheck_on_mismatch = recheck }
+              recheck_on_mismatch = recheck; cpu_stats;
+              block_cache =
+                (match block_cache with
+                | Some n -> n
+                | None -> config.Parallaft.Config.block_cache) }
           in
           let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
           let dumped = dump_obs r.Parallaft.Runtime.obs in
@@ -279,6 +298,19 @@ let profile_arg =
                profile.* rows to the stats and profile.* counter tracks to \
                --trace output.")
 
+let block_cache_arg =
+  Arg.(value & opt (some int) None & info [ "block-cache" ] ~docv:"N"
+         ~doc:"Decoded-block cache capacity per simulated CPU ($(docv) <= 0 \
+               disables it). Purely an interpreter speedup: simulated \
+               behaviour, stats and traces are byte-identical either way. \
+               Default 4096, overridable via PARALLAFT_BLOCK_CACHE.")
+
+let cpu_stats_arg =
+  Arg.(value & flag & info [ "cpu-stats" ]
+         ~doc:"Append interpreter-internal cpu.block_cache_* rows (decoded-\
+               block cache hits/misses/invalidations, summed over all \
+               simulated CPUs) to the stats dump.")
+
 let recovery_arg =
   Arg.(value & flag & info [ "recovery" ]
          ~doc:"Enable error recovery: on a detection, roll the main process \
@@ -291,7 +323,7 @@ let cmd =
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
       $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg
-      $ profile_arg)
+      $ profile_arg $ block_cache_arg $ cpu_stats_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

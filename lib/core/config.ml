@@ -32,6 +32,8 @@ type t = {
   watchdog_stall_ns : int;
   watchdog_retries : int;
   check_invariants : bool;
+  block_cache : int;
+  cpu_stats : bool;
   obs : Obs.Sink.t option;
 }
 
@@ -72,6 +74,8 @@ let parallaft ~platform ?slice_period () =
     watchdog_stall_ns = 100_000_000;
     watchdog_retries = 1;
     check_invariants = invariants_from_env ();
+    block_cache = Machine.Cpu.default_block_cache ();
+    cpu_stats = false;
     obs = None;
   }
 
@@ -97,5 +101,7 @@ let raft ~platform () =
     watchdog_stall_ns = 100_000_000;
     watchdog_retries = 1;
     check_invariants = invariants_from_env ();
+    block_cache = Machine.Cpu.default_block_cache ();
+    cpu_stats = false;
     obs = None;
   }

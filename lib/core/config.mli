@@ -90,6 +90,18 @@ type t = {
           [PARALLAFT_INVARIANTS] environment variable ([1]/non-empty,
           with [0] meaning off); a violation raises
           {!Segment.Invariant_violation}. *)
+  block_cache : int;
+      (** decoded-block cache capacity (in blocks) for every CPU the run
+          spawns ([<= 0] disables). Purely an interpreter speedup: the
+          simulated behaviour, all goldens and every counter are
+          byte-identical with the cache on or off. Defaults to
+          {!Machine.Cpu.default_block_cache} (itself settable via the
+          [PARALLAFT_BLOCK_CACHE] environment variable). *)
+  cpu_stats : bool;
+      (** append [cpu.block_cache_*] interpreter-internal rows to the
+          stats dump. Off by default so the default stats surface (and
+          every golden) is unchanged — the same opt-in discipline as the
+          [profile.*] rows. *)
   obs : Obs.Sink.t option;
       (** observability sink (event trace + metrics). [None] (the
           default) makes every emit site in the engine, coordinator and

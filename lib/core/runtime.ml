@@ -27,7 +27,9 @@ type baseline = {
 let max_sim_ns = 2_000_000_000 (* 2 simulated seconds: a generous hang bound *)
 
 let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
-  let eng = E.create ~platform ~seed () in
+  let eng =
+    E.create ~block_cache:config.Config.block_cache ~platform ~seed ()
+  in
   let coord = Coordinator.create eng config ~program in
   (match before_run with Some f -> f eng coord | None -> ());
   E.run ~max_ns:max_sim_ns eng;
@@ -43,6 +45,8 @@ let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
         (fun (name, s) -> (name, s.Obs.Profile.self_ns))
         (Obs.Profile.phases sink.Obs.Sink.profile)
   | Some _ | None -> ());
+  if config.Config.cpu_stats then
+    stats.Stats.block_cache <- Some (E.block_cache_totals eng);
   (* Run-level fault classification fallback. Checker-side plans are
      classified precisely by the replayer as their segment retires;
      main-side and runtime plans can surface anywhere (any segment's
@@ -81,8 +85,8 @@ let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
     obs = config.Config.obs;
   }
 
-let run_baseline ?(seed = 42L) ?before_run ~platform ~program () =
-  let eng = E.create ~platform ~seed () in
+let run_baseline ?(seed = 42L) ?block_cache ?before_run ~platform ~program () =
+  let eng = E.create ?block_cache ~platform ~seed () in
   let pid = E.spawn eng ~program ~core:0 () in
   (match before_run with Some f -> f eng pid | None -> ());
   E.run ~max_ns:max_sim_ns eng;

@@ -43,8 +43,12 @@ val run_protected :
 
 val run_baseline :
   ?seed:int64 ->
+  ?block_cache:int ->
   ?before_run:(Sim_os.Engine.t -> Sim_os.Engine.pid -> unit) ->
   platform:Platform.t ->
   program:Isa.Program.t ->
   unit ->
   baseline
+(** [block_cache] overrides the decoded-block cache capacity for the
+    bare run ([<= 0] disables; default
+    {!Machine.Cpu.default_block_cache}). *)

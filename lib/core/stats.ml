@@ -30,6 +30,7 @@ type t = {
   mutable final_regs : int array option;
   mutable final_mem_hash : int64 option;
   mutable profile : (string * int) list;
+  mutable block_cache : (int * int * int) option;
 }
 
 let create () =
@@ -65,6 +66,7 @@ let create () =
     final_regs = None;
     final_mem_hash = None;
     profile = [];
+    block_cache = None;
   }
 
 (* One digest over the main process's final architectural state
@@ -128,3 +130,14 @@ let to_assoc t =
   @ List.map
       (fun (name, self_ns) -> ("profile." ^ name, string_of_int self_ns))
       t.profile
+  (* Same opt-in discipline: block-cache rows only when --cpu-stats
+     asked for them, keeping the goldens byte-identical by default. *)
+  @
+  match t.block_cache with
+  | None -> []
+  | Some (hits, misses, invalidations) ->
+    [
+      ("cpu.block_cache_hits", string_of_int hits);
+      ("cpu.block_cache_misses", string_of_int misses);
+      ("cpu.block_cache_invalidations", string_of_int invalidations);
+    ]

@@ -59,6 +59,11 @@ type t = {
       (** name-sorted (phase, self_ns) rows from [Obs.Profile], filled by
           [Runtime] only when profiling was enabled; empty otherwise so
           the stats dump is unchanged by default *)
+  mutable block_cache : (int * int * int) option;
+      (** summed decoded-block-cache [(hits, misses, invalidations)]
+          over every CPU of the run, filled by [Runtime] only under
+          [Config.cpu_stats]; [None] keeps the stats dump (and the
+          goldens) unchanged, same discipline as [profile] *)
 }
 
 val create : unit -> t

@@ -1,0 +1,93 @@
+(** Pre-decoded basic blocks — the representation the interpreter's
+    block cache stores (DESIGN.md §15).
+
+    A block is the run of instructions from [entry] to the first
+    control transfer, trap site (syscall, halt, nondet when trapping is
+    on), or the length cap. Two hot patterns are fused into
+    superinstructions ([O_load_alu], [T_dec_branch]); fusion is a
+    dispatch optimization only — the CPU still charges, retires and
+    checks stop conditions per {e source} instruction, so any mid-block
+    stop lands on exactly the instruction the unfused interpreter
+    stops on. *)
+
+type op =
+  | O_alu_rr of { op : Insn.alu_op; rd : int; rs1 : int; rs2 : int }
+  | O_alu_ri of { op : Insn.alu_op; rd : int; rs1 : int; imm : int }
+  | O_li of { rd : int; imm : int }
+  | O_mov of { rd : int; rs : int }
+  | O_load of { rd : int; rb : int; off : int }
+  | O_store of { rs : int; rb : int; off : int }
+  | O_load8 of { rd : int; rb : int; off : int }
+  | O_store8 of { rs : int; rb : int; off : int }
+  | O_load_alu of {
+      ld_rd : int;
+      rb : int;
+      off : int;
+      op : Insn.alu_op;
+      rd : int;
+      rs1 : int;
+    }  (** fused [load ld_rd, rb, off; op rd, rs1, ld_rd] — 2 insns *)
+  | O_rdtsc of { rd : int }
+  | O_rdcoreid of { rd : int }
+  | O_rdrand of { rd : int }
+  | O_nop
+
+type terminator =
+  | T_branch of { cond : Insn.cond; rs1 : int; rs2 : int; target : int }
+  | T_dec_branch of {
+      rd : int;
+      dec : int;
+      cond : Insn.cond;
+      rs2 : int;
+      target : int;
+    }  (** fused [sub rd, rd, dec; b<cond> rd, rs2, target] — 2 insns *)
+  | T_jump of { target : int }
+  | T_jump_reg of { rs : int }
+  | T_trap of Insn.t
+      (** block ends {e before} this instruction (syscall / halt /
+          trapped nondet); the CPU raises the stop with pc on it *)
+  | T_fallthrough  (** length cap or end of code; continue at [term_pc] *)
+
+type block = {
+  entry : int;
+  ops : op array;
+  term : terminator;
+  term_pc : int;
+      (** pc of the terminator instruction; for [T_fallthrough] the pc
+          of the next block *)
+  n_insns : int;
+      (** instructions a full execution of the block retires (fused
+          forms count their source width; trap/fallthrough terminators
+          retire nothing) *)
+  resets_bp : bool;
+      (** whether executing the block fetches at least one instruction
+          past the breakpoint check, i.e. clears the one-shot
+          breakpoint-resume suppression like the plain interpreter *)
+  first_page : int;
+  last_page : int;
+      (** inclusive code-page span the block decodes from; a generation
+          bump on any page in the span invalidates it *)
+  nondet_trap : bool;
+      (** trap mode the block was decoded under — nondet instructions
+          are inline ops or trap sites depending on it *)
+}
+
+val code_page_bits : int
+(** Code pages are [2^code_page_bits] instructions (64): the
+    granularity of the patch-invalidation generation counters. *)
+
+val code_page : int -> int
+(** [code_page pc] is the code page a pc falls on. *)
+
+val n_code_pages : code_len:int -> int
+
+val max_block_ops : int
+(** Decoded-op length cap per block (fused ops count once). *)
+
+val op_width : op -> int
+(** Source instructions the op retires (2 for a fused op, else 1). *)
+
+val term_width : terminator -> int
+
+val decode_block : code:Insn.t array -> nondet_trap:bool -> entry:int -> block
+(** Decode one block. [entry] must be a valid index into [code]. *)

@@ -95,6 +95,41 @@ let to_string = function
 
 let check_reg r = if r < 0 || r >= num_regs then Error (Printf.sprintf "bad register r%d" r) else Ok ()
 
+(* Binary word form, used by the [patch_code] syscall (a store to the
+   instruction stream crosses the kernel in one 63-bit register). Tag in
+   bits 0-4, 4-bit register / opcode fields above it, and any immediate
+   as a signed field occupying the rest of the word up to bit 62 — so
+   [asr] recovers the sign on decode and [encode] only fails when an
+   immediate genuinely does not fit (46+ bits of headroom). *)
+
+let alu_code = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+
+let alu_of_code = function
+  | 0 -> Some Add
+  | 1 -> Some Sub
+  | 2 -> Some Mul
+  | 3 -> Some Div
+  | 4 -> Some Rem
+  | 5 -> Some And
+  | 6 -> Some Or
+  | 7 -> Some Xor
+  | 8 -> Some Shl
+  | 9 -> Some Shr
+  | _ -> None
+
+let cond_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Ge -> 3
+let cond_of_code = function 0 -> Eq | 1 -> Ne | 2 -> Lt | _ -> Ge
+
 let ( let* ) = Result.bind
 
 let check insn =
@@ -121,3 +156,75 @@ let check insn =
   | Jump target -> if target < 0 then Error "negative branch target" else Ok ()
   | Jump_reg rs -> check_reg rs
   | Syscall | Nop | Halt -> Ok ()
+
+let encode insn =
+  let imm ~shift v rest =
+    (* [v] becomes the signed field occupying bits [shift..62]. *)
+    let bits = 63 - shift in
+    if v >= -(1 lsl (bits - 1)) && v < 1 lsl (bits - 1) then
+      Some ((v lsl shift) lor rest)
+    else None
+  in
+  match check insn with
+  | Error _ -> None
+  | Ok () -> (
+    match insn with
+    | Alu (op, rd, rs1, Reg rs2) ->
+      Some
+        (0 lor (rd lsl 5) lor (rs1 lsl 9) lor (rs2 lsl 13)
+        lor (alu_code op lsl 17))
+    | Alu (op, rd, rs1, Imm i) ->
+      imm ~shift:17 i (1 lor (rd lsl 5) lor (rs1 lsl 9) lor (alu_code op lsl 13))
+    | Li (rd, i) -> imm ~shift:9 i (2 lor (rd lsl 5))
+    | Mov (rd, rs) -> Some (3 lor (rd lsl 5) lor (rs lsl 9))
+    | Load (rd, rb, off) -> imm ~shift:13 off (4 lor (rd lsl 5) lor (rb lsl 9))
+    | Store (rs, rb, off) -> imm ~shift:13 off (5 lor (rs lsl 5) lor (rb lsl 9))
+    | Load8 (rd, rb, off) -> imm ~shift:13 off (6 lor (rd lsl 5) lor (rb lsl 9))
+    | Store8 (rs, rb, off) -> imm ~shift:13 off (7 lor (rs lsl 5) lor (rb lsl 9))
+    | Branch (c, rs1, rs2, target) ->
+      imm ~shift:15 target
+        (8 lor (cond_code c lsl 5) lor (rs1 lsl 7) lor (rs2 lsl 11))
+    | Jump target -> imm ~shift:5 target 9
+    | Jump_reg rs -> Some (10 lor (rs lsl 5))
+    | Syscall -> Some 11
+    | Rdtsc rd -> Some (12 lor (rd lsl 5))
+    | Rdcoreid rd -> Some (13 lor (rd lsl 5))
+    | Rdrand rd -> Some (14 lor (rd lsl 5))
+    | Nop -> Some 15
+    | Halt -> Some 16)
+
+let decode word =
+  let tag = word land 31 in
+  let reg pos = (word lsr pos) land 15 in
+  let insn =
+    match tag with
+    | 0 ->
+      Option.map
+        (fun op -> Alu (op, reg 5, reg 9, Reg (reg 13)))
+        (alu_of_code ((word lsr 17) land 15))
+    | 1 ->
+      Option.map
+        (fun op -> Alu (op, reg 5, reg 9, Imm (word asr 17)))
+        (alu_of_code ((word lsr 13) land 15))
+    | 2 -> Some (Li (reg 5, word asr 9))
+    | 3 -> Some (Mov (reg 5, reg 9))
+    | 4 -> Some (Load (reg 5, reg 9, word asr 13))
+    | 5 -> Some (Store (reg 5, reg 9, word asr 13))
+    | 6 -> Some (Load8 (reg 5, reg 9, word asr 13))
+    | 7 -> Some (Store8 (reg 5, reg 9, word asr 13))
+    | 8 ->
+      Some
+        (Branch (cond_of_code ((word lsr 5) land 3), reg 7, reg 11, word asr 15))
+    | 9 -> Some (Jump (word asr 5))
+    | 10 -> Some (Jump_reg (reg 5))
+    | 11 -> Some Syscall
+    | 12 -> Some (Rdtsc (reg 5))
+    | 13 -> Some (Rdcoreid (reg 5))
+    | 14 -> Some (Rdrand (reg 5))
+    | 15 -> Some Nop
+    | 16 -> Some Halt
+    | _ -> None
+  in
+  match insn with
+  | Some i -> ( match check i with Ok () -> Some i | Error _ -> None)
+  | None -> None

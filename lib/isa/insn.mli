@@ -73,3 +73,17 @@ val to_string : t -> string
 val check : t -> (unit, string) result
 (** [check i] validates register indices and shift amounts; the builder
     and assembler run it on every emitted instruction. *)
+
+val encode : t -> int option
+(** Binary word form: tag in the low 5 bits, register/opcode fields
+    above, any immediate as a signed field filling the rest of the
+    63-bit word. This is how a program passes an instruction through a
+    register to the [patch_code] syscall (the Harvard-layout escape
+    hatch for self-modifying code). [None] when an immediate does not
+    fit its field (46+ bits of headroom) or the instruction itself
+    fails {!check}. *)
+
+val decode : int -> t option
+(** Inverse of {!encode}. [None] on an unknown tag or an instruction
+    that fails {!check}; ignores junk in unused high bits, so
+    [decode w] succeeding does not imply [encode (decode w) = w]. *)

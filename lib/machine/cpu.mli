@@ -52,6 +52,9 @@ type run_result = {
           noise included — what a batched hot-path profiler read of the
           hardware counter would report *)
   blocks_retired : int;  (** branch (basic-block) counter delta *)
+  blocks_decoded : int;
+      (** basic blocks decoded (block-cache misses) during this run
+          call; 0 when the cache is disabled *)
 }
 
 (** Per-run execution environment, supplied by the scheduler. *)
@@ -80,6 +83,7 @@ type t
 val create :
   ?max_skid:int ->
   ?max_insn_overcount:int ->
+  ?block_cache:int ->
   rng:Util.Rng.t ->
   program:Isa.Program.t ->
   aspace:Mem.Address_space.t ->
@@ -88,13 +92,29 @@ val create :
 (** [max_skid] (default 6) bounds counter-overflow skid in branches;
     [max_insn_overcount] (default 3) bounds the spurious increment the
     instruction counter suffers at each trap. [rng] drives both noise
-    sources; give each CPU its own split stream. *)
+    sources; give each CPU its own split stream. [block_cache] is the
+    decoded-block cache capacity in blocks ([<= 0] disables; default
+    {!default_block_cache}); the cache is an interpreter speedup with
+    {e no} architectural effect (DESIGN.md §15). *)
 
 val fork : t -> rng:Util.Rng.t -> aspace:Mem.Address_space.t -> t
 (** Duplicate architectural state (registers, pc) onto a new address
     space. Counters, breakpoints and armed events are {e not} inherited
     (a fresh process starts with quiesced monitoring hardware), matching
-    the runtime's behaviour of configuring each checker explicitly. *)
+    the runtime's behaviour of configuring each checker explicitly. The
+    child inherits the parent's {e current} code image — patches
+    included — with a cold block cache of the same capacity. *)
+
+val default_block_cache : unit -> int
+(** Process-wide default block-cache capacity used by {!create} when
+    [?block_cache] is omitted: 4096 blocks, overridable by the
+    [PARALLAFT_BLOCK_CACHE] environment variable and
+    {!set_default_block_cache}. [<= 0] means disabled. *)
+
+val set_default_block_cache : int -> unit
+(** Override the process-wide default (e.g. the CLI's [--block-cache],
+    or a differential harness flipping the cache off for a whole run).
+    Affects CPUs created afterwards only. *)
 
 val run : t -> env:env -> max_cycles:int -> run_result
 (** Execute until the cycle budget is spent or a stop condition arises.
@@ -103,6 +123,22 @@ val run : t -> env:env -> max_cycles:int -> run_result
 (** {2 Architectural state access (the ptrace register file)} *)
 
 val program : t -> Isa.Program.t
+(** The program this CPU was loaded from — its {e original} code image;
+    see {!code_insn} for the live, possibly patched stream. *)
+
+val code_insn : t -> int -> Isa.Insn.t option
+(** The instruction this CPU would fetch at a pc, from its live code
+    image (reflects {!patch_code}); [None] out of bounds. *)
+
+val patch_code : t -> pc:int -> Isa.Insn.t -> (unit, string) result
+(** Overwrite the instruction at [pc] in this CPU's code image (the
+    [patch_code] syscall's backend — the Harvard-layout analogue of a
+    store to a code page). Bumps the code page's generation so cached
+    decoded blocks spanning it are invalidated on next lookup. Errors
+    on an out-of-range pc or an instruction failing {!Isa.Insn.check};
+    no effect on other CPUs (each has its own image), but a subsequent
+    {!fork} inherits the patched stream. *)
+
 val aspace : t -> Mem.Address_space.t
 val get_reg : t -> int -> int
 val set_reg : t -> int -> int -> unit
@@ -185,3 +221,13 @@ val disarm_fault_injection : t -> unit
 
 val fault_injected : t -> bool
 (** Whether an armed injection has fired. *)
+
+(** {2 Block-cache statistics} *)
+
+val block_cache_enabled : t -> bool
+
+val block_cache_stats : t -> int * int * int
+(** [(hits, misses, invalidations)] of this CPU's decoded-block cache
+    since creation; all zero when the cache is disabled. Invalidations
+    (a subset of misses) count cached blocks dropped because
+    {!patch_code} bumped a code page they span. *)

@@ -40,6 +40,7 @@ type agg = {
   mutable self_ns : int;
   mutable insns : int;
   mutable blocks : int;
+  mutable decoded : int;
   mutable wall : bool;
 }
 
@@ -49,6 +50,7 @@ type phase_summary = {
   self_ns : int;
   insns : int;
   blocks : int;
+  decoded : int;
   wall : bool;
 }
 
@@ -75,7 +77,15 @@ let agg_for t name =
   | Some a -> a
   | None ->
     let a : agg =
-      { count = 0; total_ns = 0; self_ns = 0; insns = 0; blocks = 0; wall = false }
+      {
+        count = 0;
+        total_ns = 0;
+        self_ns = 0;
+        insns = 0;
+        blocks = 0;
+        decoded = 0;
+        wall = false;
+      }
     in
     Hashtbl.replace t.sums name a;
     a
@@ -168,13 +178,14 @@ let add_ns t ~tracks ?segment name ns =
     Some a.self_ns
   end
 
-let add_units t ~tracks ~insns ~blocks =
+let add_units t ~tracks ~decoded ~insns ~blocks =
   if t.enabled then
     match innermost_open t tracks with
     | Some top ->
       let a = agg_for t top.name in
       a.insns <- a.insns + insns;
-      a.blocks <- a.blocks + blocks
+      a.blocks <- a.blocks + blocks;
+      a.decoded <- a.decoded + decoded
     | None -> ()
 
 let close_all t ~ts_ns =
@@ -207,6 +218,7 @@ let merge_into dst srcs =
           d.self_ns <- d.self_ns + s.self_ns;
           d.insns <- d.insns + s.insns;
           d.blocks <- d.blocks + s.blocks;
+          d.decoded <- d.decoded + s.decoded;
           d.wall <- d.wall || s.wall)
         src.sums;
       Hashtbl.iter
@@ -225,6 +237,7 @@ let phases t =
           self_ns = a.self_ns;
           insns = a.insns;
           blocks = a.blocks;
+          decoded = a.decoded;
           wall = a.wall;
         } )
       :: acc)
@@ -258,13 +271,14 @@ let to_table t ~wall_ns =
   in
   let row (name, s) =
     Buffer.add_string b
-      (Printf.sprintf "  %-18s %12d %12d %6d %5.1f%% %12d %10d\n" name
-         s.self_ns s.total_ns s.count (pct s.self_ns) s.insns s.blocks)
+      (Printf.sprintf "  %-18s %12d %12d %6d %5.1f%% %12d %10d %8d\n" name
+         s.self_ns s.total_ns s.count (pct s.self_ns) s.insns s.blocks
+         s.decoded)
   in
   Buffer.add_string b "phase self-time breakdown (simulated time):\n";
   Buffer.add_string b
-    (Printf.sprintf "  %-18s %12s %12s %6s %6s %12s %10s\n" "phase" "self_ns"
-       "total_ns" "count" "%wall" "insns" "blocks");
+    (Printf.sprintf "  %-18s %12s %12s %6s %6s %12s %10s %8s\n" "phase"
+       "self_ns" "total_ns" "count" "%wall" "insns" "blocks" "decoded");
   if walls <> [] then begin
     Buffer.add_string b " main-core wall partition:\n";
     List.iter row walls

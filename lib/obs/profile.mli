@@ -22,6 +22,9 @@ type phase_summary = {
   self_ns : int;  (** exclusive time: elapsed minus nested children *)
   insns : int;  (** instructions retired while this phase was innermost *)
   blocks : int;  (** basic blocks dispatched while innermost *)
+  decoded : int;
+      (** basic blocks decoded (block-cache misses) while innermost — the
+          interpreter's decode work, charged like insns/blocks *)
   wall : bool;  (** closed on a [Core _] track: part of the wall partition *)
 }
 
@@ -45,10 +48,12 @@ val add_ns :
     that scope's self-time excludes the charge). Returns the phase's new
     cumulative self-time. *)
 
-val add_units : t -> tracks:Trace.track list -> insns:int -> blocks:int -> unit
-(** Batched hot-path counters: credit instructions/blocks to the phase
-    of the innermost open scope on the first of [tracks] that has one.
-    Silently dropped when no scope is open (e.g. baseline runs). *)
+val add_units :
+  t -> tracks:Trace.track list -> decoded:int -> insns:int -> blocks:int -> unit
+(** Batched hot-path counters: credit instructions/blocks/decoded
+    blocks to the phase of the innermost open scope on the first of
+    [tracks] that has one. Silently dropped when no scope is open
+    (e.g. baseline runs). *)
 
 val close_all : t -> ts_ns:int -> unit
 (** Close every in-flight scope at [ts_ns], innermost first, tracks in

@@ -58,9 +58,9 @@ let phase_add t ~ts_ns ~tracks ?segment name ns =
     | Some self -> counter_emit t ~ts_ns name self
     | None -> ()
 
-let phase_units t ~tracks ~insns ~blocks =
+let phase_units t ~tracks ~decoded ~insns ~blocks =
   if Profile.enabled t.profile then
-    Profile.add_units t.profile ~tracks ~insns ~blocks
+    Profile.add_units t.profile ~tracks ~decoded ~insns ~blocks
 
 let phase_close_all t ~ts_ns =
   if Profile.enabled t.profile then Profile.close_all t.profile ~ts_ns

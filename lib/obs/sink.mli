@@ -63,5 +63,6 @@ val phase_add :
   int ->
   unit
 
-val phase_units : t -> tracks:Trace.track list -> insns:int -> blocks:int -> unit
+val phase_units :
+  t -> tracks:Trace.track list -> decoded:int -> insns:int -> blocks:int -> unit
 val phase_close_all : t -> ts_ns:int -> unit

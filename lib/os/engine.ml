@@ -19,6 +19,7 @@ type event =
 type t = {
   plat : Platform.t;
   quantum_ns : int;
+  block_cache : int; (* decoded-block cache capacity for spawned CPUs *)
   rng : Util.Rng.t;
   alloc : Mem.Frame.allocator;
   filesystem : File.fs;
@@ -83,7 +84,12 @@ and tick = {
   fn : t -> unit;
 }
 
-let create ?(quantum_ns = 20_000) ~platform ~seed () =
+let create ?(quantum_ns = 20_000) ?block_cache ~platform ~seed () =
+  let block_cache =
+    match block_cache with
+    | Some c -> c
+    | None -> Machine.Cpu.default_block_cache ()
+  in
   let rng = Util.Rng.create ~seed in
   let clusters =
     Array.map
@@ -119,6 +125,7 @@ let create ?(quantum_ns = 20_000) ~platform ~seed () =
   {
     plat = platform;
     quantum_ns;
+    block_cache;
     rng;
     alloc = Mem.Frame.allocator ~page_size:platform.Platform.page_size;
     filesystem = File.create_fs ~rng:(Util.Rng.split rng);
@@ -302,7 +309,8 @@ let spawn t ?tracer ~program ~core () =
   let cpu =
     Machine.Cpu.create ~max_skid:t.plat.Platform.max_skid
       ~max_insn_overcount:t.plat.Platform.max_insn_overcount
-      ~rng:(Util.Rng.split t.rng) ~program ~aspace ()
+      ~block_cache:t.block_cache ~rng:(Util.Rng.split t.rng) ~program ~aspace
+      ()
   in
   Machine.Cpu.set_nondet_trap cpu (Option.is_some tracer);
   let fd_table = Hashtbl.create 8 in
@@ -593,6 +601,14 @@ let do_syscall_internal t p =
       ignore (Mem.Address_space.write_bytes aspace ~addr data);
       finish ~extra_cost:(len / 16) len
     with Mem.Address_space.Segfault _ -> finish (-14))
+  | Syscall.Patch_code { pc; word } -> (
+    (* The icache-flush analogue dominates the cost of a code write. *)
+    match Isa.Insn.decode word with
+    | None -> finish (-22) (* EINVAL: not an encodable instruction *)
+    | Some insn -> (
+      match Machine.Cpu.patch_code p.cpu ~pc insn with
+      | Ok () -> finish ~extra_cost:50 0
+      | Error _ -> finish (-14) (* EFAULT: pc outside the code image *)))
   | Syscall.Unknown _ -> finish (-38) (* ENOSYS *)
 
 let do_syscall t pid = do_syscall_internal t (proc t pid)
@@ -767,7 +783,8 @@ let run_core t core =
                 Obs.Sink.phase_units s
                   ~tracks:[ Obs.Trace.Proc pid; Obs.Trace.Core core.core_id ]
                   ~insns:res.Machine.Cpu.insns_retired
-                  ~blocks:res.Machine.Cpu.blocks_retired);
+                  ~blocks:res.Machine.Cpu.blocks_retired
+                  ~decoded:res.Machine.Cpu.blocks_decoded);
               p.user_ns <- p.user_ns +. user_ns;
               p.sys_ns <- p.sys_ns +. sys_ns;
               core.busy_ns <- core.busy_ns +. user_ns +. sys_ns;
@@ -893,5 +910,14 @@ let dram_mult t = t.dram_mult
 let l2_stats t ~cluster =
   let l2 = t.clusters.(cluster).l2 in
   (Mem.Fifo_cache.hits l2, Mem.Fifo_cache.misses l2)
+
+let block_cache_totals t =
+  (* The process table retains exited processes, so this sums the whole
+     simulation: every CPU ever spawned or forked. *)
+  Hashtbl.fold
+    (fun _ p (h, m, i) ->
+      let bh, bm, bi = Machine.Cpu.block_cache_stats p.cpu in
+      (h + bh, m + bm, i + bi))
+    t.procs (0, 0, 0)
 
 let output t = File.captured_stdout t.filesystem

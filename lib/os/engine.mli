@@ -43,7 +43,18 @@ type event =
 
 type tracer = t -> pid -> event -> unit
 
-val create : ?quantum_ns:int -> platform:Platform.t -> seed:int64 -> unit -> t
+val create :
+  ?quantum_ns:int ->
+  ?block_cache:int ->
+  platform:Platform.t ->
+  seed:int64 ->
+  unit ->
+  t
+(** [block_cache] is the decoded-block cache capacity (in blocks) given
+    to every CPU this engine spawns ([<= 0] disables; default
+    {!Machine.Cpu.default_block_cache}) — an interpreter speedup with no
+    simulated-behaviour effect. *)
+
 val platform : t -> Platform.t
 val fs : t -> File.fs
 val now_ns : t -> int
@@ -201,6 +212,11 @@ val dram_mult : t -> float
 
 val l2_stats : t -> cluster:int -> int * int
 (** (hits, misses) of a cluster's shared L2 since engine creation. *)
+
+val block_cache_totals : t -> int * int * int
+(** Summed [(hits, misses, invalidations)] of the decoded-block caches
+    of every process ever spawned or forked (exited ones included);
+    all zero when the cache is disabled. *)
 
 val output : t -> string
 (** Captured stdout of the whole simulation. *)

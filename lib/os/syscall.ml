@@ -19,6 +19,7 @@ let nr_gettime = 10
 let nr_sigaction = 11
 let nr_sigreturn = 12
 let nr_getrandom = 13
+let nr_patch_code = 14
 
 let number_of_name = function
   | "exit" -> Some nr_exit
@@ -35,6 +36,7 @@ let number_of_name = function
   | "sigaction" -> Some nr_sigaction
   | "sigreturn" -> Some nr_sigreturn
   | "getrandom" -> Some nr_getrandom
+  | "patch_code" -> Some nr_patch_code
   | _ -> None
 
 type call =
@@ -52,6 +54,7 @@ type call =
   | Sigaction of { signum : int; handler_pc : int }
   | Sigreturn
   | Getrandom of { addr : int; len : int }
+  | Patch_code of { pc : int; word : int }
   | Unknown of int
 
 let decode cpu =
@@ -77,6 +80,7 @@ let decode cpu =
   else if nr = nr_sigaction then Sigaction { signum = r 1; handler_pc = r 2 }
   else if nr = nr_sigreturn then Sigreturn
   else if nr = nr_getrandom then Getrandom { addr = r 1; len = nonneg (r 2) }
+  else if nr = nr_patch_code then Patch_code { pc = r 1; word = r 2 }
   else Unknown nr
 
 let name = function
@@ -94,6 +98,7 @@ let name = function
   | Sigaction _ -> "sigaction"
   | Sigreturn -> "sigreturn"
   | Getrandom _ -> "getrandom"
+  | Patch_code _ -> "patch_code"
   | Unknown n -> Printf.sprintf "unknown(%d)" n
 
 type category =
@@ -103,7 +108,10 @@ type category =
 
 let categorize = function
   | Exit _ | Write _ | Read _ | Open _ | Close _ -> Globally_effectful
-  | Brk _ | Mmap _ | Munmap _ | Mprotect _ | Sigaction _ | Sigreturn ->
+  | Brk _ | Mmap _ | Munmap _ | Mprotect _ | Sigaction _ | Sigreturn
+  | Patch_code _ ->
+    (* patch_code rewrites only the caller's code image, so checkers
+       re-execute it to patch their own copy — like mprotect. *)
     Process_local
   | Getpid | Gettime | Getrandom _ -> Non_effectful
   | Unknown _ -> Process_local

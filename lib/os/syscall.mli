@@ -35,12 +35,18 @@ type call =
   | Sigaction of { signum : int; handler_pc : int }
   | Sigreturn
   | Getrandom of { addr : int; len : int }
+  | Patch_code of { pc : int; word : int }
+      (** overwrite the caller's instruction at [pc] with the
+          {!Isa.Insn.decode} of [word] — the Harvard-layout channel for
+          self-modifying code (the data space cannot reach the
+          instruction stream, so a code write must cross the kernel) *)
   | Unknown of int
 
 val number_of_name : string -> int option
 (** For assembly authors: ["exit"], ["write"], ["read"], ["open"],
     ["close"], ["brk"], ["mmap"], ["munmap"], ["mprotect"], ["getpid"],
-    ["gettime"], ["sigaction"], ["sigreturn"], ["getrandom"]. *)
+    ["gettime"], ["sigaction"], ["sigreturn"], ["getrandom"],
+    ["patch_code"]. *)
 
 val nr_exit : int
 val nr_write : int
@@ -56,6 +62,7 @@ val nr_gettime : int
 val nr_sigaction : int
 val nr_sigreturn : int
 val nr_getrandom : int
+val nr_patch_code : int
 
 val decode : Machine.Cpu.t -> call
 (** Decode the pending syscall from the register file. The mmap length,

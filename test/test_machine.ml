@@ -14,7 +14,7 @@ let null_env =
     div_cycles = 12;
   }
 
-let make_cpu ?(seed = 1L) src =
+let make_cpu ?(seed = 1L) ?block_cache src =
   let program = Isa.Asm.assemble_exn src in
   let alloc = Mem.Frame.allocator ~page_size in
   let aspace = Mem.Address_space.create alloc in
@@ -22,7 +22,7 @@ let make_cpu ?(seed = 1L) src =
     (fun { Isa.Program.base; bytes } ->
       Mem.Address_space.write_bytes_map aspace ~addr:base bytes)
     program.Isa.Program.data;
-  Machine.Cpu.create ~rng:(Util.Rng.create ~seed) ~program ~aspace ()
+  Machine.Cpu.create ?block_cache ~rng:(Util.Rng.create ~seed) ~program ~aspace ()
 
 let run ?(max_cycles = 1_000_000) cpu = Machine.Cpu.run cpu ~env:null_env ~max_cycles
 
@@ -301,6 +301,293 @@ let test_cow_cycles_counted_as_sys () =
   Alcotest.(check bool) "sys cycles charged" true
     (Machine.Cpu.sys_cycles_total cpu >= 100)
 
+(* --- decoded-block cache ------------------------------------------- *)
+
+(* The cache must be architecturally invisible: a cached CPU and an
+   uncached CPU driven identically must agree on every observable at
+   every stop. The harness below runs random programs under random stop
+   causes and compares the full observable state stop by stop. *)
+
+(* Everything a tracer (or the fault-tolerance runtime) can see. *)
+type bc_obs = {
+  o_stop : Machine.Cpu.stop_reason;
+  o_pc : int;
+  o_regs : int list;
+  o_insns : int;
+  o_branches : int;
+  o_cycles : int;
+  o_sys : int;
+  o_retired : int;
+  o_blocks : int;
+  o_injected : bool;
+  o_mem : int list;
+}
+
+let bc_observe cpu (res : Machine.Cpu.run_result) =
+  {
+    o_stop = res.Machine.Cpu.stop;
+    o_pc = Machine.Cpu.get_pc cpu;
+    o_regs = List.init 16 (Machine.Cpu.get_reg cpu);
+    o_insns = Machine.Cpu.instructions cpu;
+    o_branches = Machine.Cpu.branches cpu;
+    o_cycles = Machine.Cpu.cycles cpu;
+    o_sys = Machine.Cpu.sys_cycles_total cpu;
+    o_retired = res.Machine.Cpu.insns_retired;
+    o_blocks = res.Machine.Cpu.blocks_retired;
+    o_injected = Machine.Cpu.fault_injected cpu;
+    o_mem =
+      List.init 512 (fun i ->
+          Mem.Address_space.load64 (Machine.Cpu.aspace cpu) (i * 8));
+  }
+
+type bc_scenario =
+  | S_plain
+  | S_breakpoint of int  (* pc *)
+  | S_overflow of int  (* branch-counter target, with skid *)
+  | S_nondet  (* trap rdtsc/rdrand/rdcoreid *)
+  | S_budget of int  (* small per-run cycle budget: the budget edge *)
+  | S_inject of int * int * int  (* after_instructions, reg, bit *)
+
+let bc_scenario_str = function
+  | S_plain -> "plain"
+  | S_breakpoint pc -> Printf.sprintf "breakpoint@%d" pc
+  | S_overflow t -> Printf.sprintf "overflow@%d" t
+  | S_nondet -> "nondet-trap"
+  | S_budget c -> Printf.sprintf "budget=%d" c
+  | S_inject (a, r, b) -> Printf.sprintf "inject@%d r%d bit%d" a r b
+
+(* Drive one CPU to up to [max_stops] stops, emulating traps the way the
+   engine's tracer does (syscall and nondet results are functions of the
+   stop index only, so both CPUs of a pair see identical injections). *)
+let bc_drive cpu ~scenario ~n_insns =
+  (match scenario with
+  | S_plain | S_budget _ -> ()
+  | S_breakpoint pc -> Machine.Cpu.set_breakpoint cpu pc
+  | S_overflow target -> Machine.Cpu.arm_branch_overflow cpu ~target
+  | S_nondet -> Machine.Cpu.set_nondet_trap cpu true
+  | S_inject (after_instructions, reg, bit) ->
+    Machine.Cpu.arm_fault_injection cpu ~after_instructions ~reg ~bit);
+  ignore n_insns;
+  let max_cycles =
+    match scenario with S_budget c -> c | _ -> 3_000
+  in
+  let max_stops = 10 in
+  let rec go k acc =
+    if k >= max_stops then List.rev acc
+    else
+      let res = Machine.Cpu.run cpu ~env:null_env ~max_cycles in
+      let obs = bc_observe cpu res in
+      let acc = obs :: acc in
+      match res.Machine.Cpu.stop with
+      | Machine.Cpu.Halted | Machine.Cpu.Fault_stop _ -> List.rev acc
+      | Machine.Cpu.Syscall_stop ->
+        Machine.Cpu.set_reg cpu 0 (700 + k);
+        Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
+        go (k + 1) acc
+      | Machine.Cpu.Nondet_stop insn ->
+        (match insn with
+        | Isa.Insn.Rdtsc r | Isa.Insn.Rdcoreid r | Isa.Insn.Rdrand r ->
+          Machine.Cpu.set_reg cpu r (9_000 + k)
+        | _ -> ());
+        Machine.Cpu.set_pc cpu (Machine.Cpu.get_pc cpu + 1);
+        go (k + 1) acc
+      | Machine.Cpu.Breakpoint_stop | Machine.Cpu.Counter_overflow_stop
+      | Machine.Cpu.Cycle_overflow_stop | Machine.Cpu.Insn_overflow_stop
+      | Machine.Cpu.Budget_exhausted ->
+        go (k + 1) acc
+  in
+  go 0 []
+
+(* Random program: every instruction is labelled so branches and jumps
+   can target any of them. r7 is pinned to 0 as the only load/store
+   base, generated writes stay in r1..r6, so data traffic is confined to
+   the mapped page; div-by-zero, infinite loops and mid-run traps are
+   stop causes the harness compares, not generator bugs. *)
+let bc_gen_case =
+  let open QCheck.Gen in
+  let n = 24 in
+  let rw = int_range 1 6 in
+  let rr = int_range 0 7 in
+  let off = map (fun i -> i * 8) (int_range 0 500) in
+  let lab = map (Printf.sprintf "i%d") (int_range 0 (n - 1)) in
+  let alu2 =
+    oneofl [ "add"; "sub"; "mul"; "div"; "rem"; "and"; "or"; "xor" ]
+  in
+  let alui = oneofl [ "add"; "sub"; "shl"; "shr" ] in
+  let insn =
+    frequency
+      [
+        ( 6,
+          map3
+            (fun op d (a, b) -> Printf.sprintf "%s r%d, r%d, r%d" op d a b)
+            alu2 rw (pair rr rr) );
+        ( 4,
+          map3
+            (fun op d (a, i) -> Printf.sprintf "%s r%d, r%d, %d" op d a i)
+            alui rw
+            (pair rr (int_range 0 7)) );
+        (3, map2 (fun d i -> Printf.sprintf "li r%d, %d" d i) rw (int_range (-1000) 1000));
+        (2, map2 (fun d s -> Printf.sprintf "mov r%d, r%d" d s) rw rr);
+        (3, map2 (fun d o -> Printf.sprintf "load r%d, r7, %d" d o) rw off);
+        (3, map2 (fun s o -> Printf.sprintf "store r%d, r7, %d" s o) rr off);
+        (1, map2 (fun d o -> Printf.sprintf "load8 r%d, r7, %d" d o) rw off);
+        (1, map2 (fun s o -> Printf.sprintf "store8 r%d, r7, %d" s o) rr off);
+        (1, map (Printf.sprintf "rdtsc r%d") rw);
+        (1, map (Printf.sprintf "rdrand r%d") rw);
+        (1, map (Printf.sprintf "rdcoreid r%d") rw);
+        (1, return "nop");
+        (1, return "syscall");
+        ( 4,
+          map3
+            (fun c (a, b) l -> Printf.sprintf "%s r%d, r%d, %s" c a b l)
+            (oneofl [ "beq"; "bne"; "blt"; "bge" ])
+            (pair rr rr) lab );
+        (1, map (Printf.sprintf "jmp %s") lab);
+      ]
+  in
+  let scenario =
+    frequency
+      [
+        (2, return S_plain);
+        (2, map (fun pc -> S_breakpoint pc) (int_range 0 n));
+        (2, map (fun t -> S_overflow t) (int_range 1 30));
+        (2, return S_nondet);
+        (2, map (fun c -> S_budget c) (int_range 50 1500));
+        ( 2,
+          map3
+            (fun a r b -> S_inject (a, r, b))
+            (int_range 0 300) (int_range 1 6) (int_range 0 62) );
+      ]
+  in
+  let* body = list_repeat n insn in
+  let* scen = scenario in
+  let* seed = int_range 1 1_000_000 in
+  let b = Buffer.create 512 in
+  Buffer.add_string b ".zero 0x0 4096\n";
+  Buffer.add_string b "li r7, 0\n";
+  List.iteri
+    (fun i s -> Buffer.add_string b (Printf.sprintf "i%d:\n%s\n" i s))
+    body;
+  Buffer.add_string b "halt\n";
+  return (Buffer.contents b, scen, Int64.of_int seed, n)
+
+let bc_case_print (src, scen, seed, _) =
+  Printf.sprintf "seed=%Ld scenario=%s\n%s" seed (bc_scenario_str scen) src
+
+let qcheck_block_cache_differential =
+  QCheck.Test.make ~name:"block cache is architecturally invisible" ~count:300
+    (QCheck.make ~print:bc_case_print bc_gen_case)
+    (fun (src, scenario, seed, n_insns) ->
+      let cached = make_cpu ~seed ~block_cache:64 src in
+      let uncached = make_cpu ~seed ~block_cache:0 src in
+      let a = bc_drive cached ~scenario ~n_insns in
+      let b = bc_drive uncached ~scenario ~n_insns in
+      if a <> b then
+        QCheck.Test.fail_reportf "diverged after %d vs %d stops"
+          (List.length a) (List.length b)
+      else true)
+
+(* Deliberately tiny cache: random programs with 25 blocks against 64
+   slots plus a 4-slot variant exercise eviction and re-admission too. *)
+let qcheck_block_cache_differential_tiny =
+  QCheck.Test.make ~name:"block cache invisible under eviction pressure"
+    ~count:120
+    (QCheck.make ~print:bc_case_print bc_gen_case)
+    (fun (src, scenario, seed, n_insns) ->
+      let cached = make_cpu ~seed ~block_cache:4 src in
+      let uncached = make_cpu ~seed ~block_cache:0 src in
+      bc_drive cached ~scenario ~n_insns = bc_drive uncached ~scenario ~n_insns)
+
+let test_block_cache_hits_and_stats () =
+  let src = "li r1, 50\nli r2, 0\nl:\nsub r1, r1, 1\nbne r1, r2, l\nhalt" in
+  let cpu = make_cpu src in
+  Alcotest.(check bool) "enabled by default" true
+    (Machine.Cpu.block_cache_enabled cpu);
+  let res = run cpu in
+  (match res.Machine.Cpu.stop with
+  | Machine.Cpu.Halted -> ()
+  | _ -> Alcotest.fail "expected halt");
+  let hits, misses, _ = Machine.Cpu.block_cache_stats cpu in
+  Alcotest.(check bool) "hot loop hits the cache" true (hits > 0);
+  Alcotest.(check bool) "cold blocks missed first" true (misses > 0);
+  Alcotest.(check bool) "decoded blocks reported" true
+    (res.Machine.Cpu.blocks_decoded > 0);
+  let off = make_cpu ~block_cache:0 src in
+  Alcotest.(check bool) "disabled when capacity 0" false
+    (Machine.Cpu.block_cache_enabled off);
+  ignore (run off);
+  Alcotest.(check (triple int int int)) "no stats when disabled" (0, 0, 0)
+    (Machine.Cpu.block_cache_stats off)
+
+(* Self-modifying code: patching an instruction must invalidate the
+   cached block spanning it, and re-execution must run the new bytes. *)
+let test_patch_code_invalidates () =
+  let src =
+    "li r1, 5\nli r2, 0\nli r3, 0\nl:\nadd r3, r3, 1\nsub r1, r1, 1\nbne r1, r2, l\nhalt"
+  in
+  let cpu = make_cpu src in
+  (match run cpu with
+  | { Machine.Cpu.stop = Machine.Cpu.Halted; _ } -> ()
+  | _ -> Alcotest.fail "expected halt");
+  Alcotest.(check int) "r3 sums 1 per iteration" 5 (Machine.Cpu.get_reg cpu 3);
+  let hits_before, _, _ = Machine.Cpu.block_cache_stats cpu in
+  Alcotest.(check bool) "loop block was cached" true (hits_before > 0);
+  (* Overwrite the add-1 with an add-10, rewind, run again: the stale
+     cached block must not serve the old instruction. *)
+  (match
+     Machine.Cpu.patch_code cpu ~pc:3
+       (Isa.Insn.Alu (Isa.Insn.Add, 3, 3, Isa.Insn.Imm 10))
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "patch_code: %s" m);
+  (match Machine.Cpu.code_insn cpu 3 with
+  | Some (Isa.Insn.Alu (Isa.Insn.Add, 3, 3, Isa.Insn.Imm 10)) -> ()
+  | _ -> Alcotest.fail "code_insn does not reflect the patch");
+  Machine.Cpu.set_pc cpu 0;
+  Machine.Cpu.set_reg cpu 3 0;
+  (match run cpu with
+  | { Machine.Cpu.stop = Machine.Cpu.Halted; _ } -> ()
+  | _ -> Alcotest.fail "expected halt after patch");
+  Alcotest.(check int) "patched loop sums 10 per iteration" 50
+    (Machine.Cpu.get_reg cpu 3);
+  let _, _, invalidations = Machine.Cpu.block_cache_stats cpu in
+  Alcotest.(check bool) "stale block invalidated" true (invalidations > 0)
+
+let test_patch_code_validation () =
+  let cpu = make_cpu "nop\nhalt" in
+  (match Machine.Cpu.patch_code cpu ~pc:99 Isa.Insn.Nop with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range pc accepted");
+  match Machine.Cpu.patch_code cpu ~pc:0 (Isa.Insn.Li (99, 0)) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "malformed instruction accepted"
+
+(* The same SMC program must behave identically cached and uncached —
+   the invalidation protocol, not just the happy path, is differential. *)
+let test_patch_code_differential () =
+  let run_with block_cache =
+    let src =
+      "li r1, 5\nli r2, 0\nli r3, 0\nl:\nadd r3, r3, 1\nsub r1, r1, 1\nbne r1, r2, l\nhalt"
+    in
+    let cpu = make_cpu ~block_cache src in
+    ignore (run cpu);
+    (match
+       Machine.Cpu.patch_code cpu ~pc:3
+         (Isa.Insn.Alu (Isa.Insn.Add, 3, 3, Isa.Insn.Imm 7))
+     with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "patch_code: %s" m);
+    Machine.Cpu.set_pc cpu 0;
+    Machine.Cpu.set_reg cpu 3 0;
+    ignore (run cpu);
+    ( List.init 16 (Machine.Cpu.get_reg cpu),
+      Machine.Cpu.instructions cpu,
+      Machine.Cpu.branches cpu,
+      Machine.Cpu.cycles cpu )
+  in
+  Alcotest.(check bool) "cached = uncached across a patch" true
+    (run_with 4096 = run_with 0)
+
 let qcheck_register_ops =
   QCheck.Test.make ~name:"add/sub roundtrip at machine level" ~count:200
     QCheck.(pair int int)
@@ -345,5 +632,15 @@ let () =
           tc "fault injection" `Quick test_fault_injection_flips_bit;
           tc "fault injection validation" `Quick test_fault_injection_validation;
           tc "cow charges sys cycles" `Quick test_cow_cycles_counted_as_sys;
+        ] );
+      ( "block-cache",
+        [
+          tc "hits, misses, decoded reported" `Quick
+            test_block_cache_hits_and_stats;
+          tc "patch_code invalidates" `Quick test_patch_code_invalidates;
+          tc "patch_code validation" `Quick test_patch_code_validation;
+          tc "patch_code differential" `Quick test_patch_code_differential;
+          QCheck_alcotest.to_alcotest qcheck_block_cache_differential;
+          QCheck_alcotest.to_alcotest qcheck_block_cache_differential_tiny;
         ] );
     ]

@@ -511,7 +511,7 @@ let test_profile_close_all () =
   Obs.Profile.enter p ~ts_ns:5 ~track:(Obs.Trace.Proc 1) "replay";
   Obs.Profile.add_units p
     ~tracks:[ Obs.Trace.Proc 1; Obs.Trace.Core 0 ]
-    ~insns:100 ~blocks:7;
+    ~decoded:3 ~insns:100 ~blocks:7;
   Obs.Profile.close_all p ~ts_ns:50;
   let phases = Obs.Profile.phases p in
   let self n =
@@ -525,7 +525,8 @@ let test_profile_close_all () =
   | Some s ->
     Alcotest.(check int) "units credited to innermost scope" 100
       s.Obs.Profile.insns;
-    Alcotest.(check int) "blocks too" 7 s.Obs.Profile.blocks
+    Alcotest.(check int) "blocks too" 7 s.Obs.Profile.blocks;
+    Alcotest.(check int) "decoded too" 3 s.Obs.Profile.decoded
   | None -> Alcotest.fail "replay phase missing");
   (* idempotent: nothing left open *)
   Obs.Profile.close_all p ~ts_ns:99;

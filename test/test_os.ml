@@ -291,6 +291,76 @@ let test_little_core_slower () =
     true
     (little > big)
 
+(* Self-modifying code through the kernel: the patch_code syscall
+   rewrites an instruction the program already executed (so the block
+   spanning it is cached), and the next loop trip must run the new
+   bytes — the syscall is the Harvard-layout analogue of a store to a
+   code page plus icache flush. *)
+let test_patch_code_syscall () =
+  let word =
+    match Isa.Insn.encode (Isa.Insn.Li (4, 77)) with
+    | Some w -> w
+    | None -> Alcotest.fail "li r4, 77 does not encode"
+  in
+  let src =
+    Printf.sprintf
+      {|
+        li r5, 2         ; trips remaining
+        li r6, 0
+      loop:
+        li r4, 33        ; patch target: becomes "li r4, 77"
+        li r0, 14        ; patch_code
+        li r1, 2
+        li r2, %d
+        syscall
+        sub r5, r5, 1
+        bne r5, r6, loop
+        li r0, 0         ; exit with the last trip's r4
+        mov r1, r4
+        syscall
+      |}
+      word
+  in
+  let eng = fresh () in
+  let pid = Sim_os.Engine.spawn eng ~program:(assemble src) ~core:0 () in
+  run_to_completion eng;
+  (match Sim_os.Engine.state eng pid with
+  | Sim_os.Engine.Exited 77 -> ()
+  | Sim_os.Engine.Exited n ->
+    Alcotest.failf "exit status %d: the patched instruction did not run" n
+  | _ -> Alcotest.fail "still live");
+  let _, _, invalidations = Sim_os.Engine.block_cache_totals eng in
+  Alcotest.(check bool) "cached block was invalidated" true
+    (invalidations > 0)
+
+let test_patch_code_syscall_rejects_junk () =
+  (* An undecodable word must fail with EINVAL (-22), leaving the code
+     image untouched, and the program must be able to observe that. *)
+  let src =
+    {|
+      li r0, 14
+      li r1, 0
+      li r2, -1        ; no instruction encodes to all-ones
+      syscall
+      li r4, 1
+      blt r0, r4, bad  ; r0 = -22 < 1: the expected path
+      li r0, 0
+      li r1, 9
+      syscall
+    bad:
+      li r0, 0
+      li r1, 22
+      syscall
+    |}
+  in
+  let eng = fresh () in
+  let pid = Sim_os.Engine.spawn eng ~program:(assemble src) ~core:0 () in
+  run_to_completion eng;
+  match Sim_os.Engine.state eng pid with
+  | Sim_os.Engine.Exited 22 -> ()
+  | Sim_os.Engine.Exited n -> Alcotest.failf "exit status %d, wanted 22" n
+  | _ -> Alcotest.fail "still live"
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "sim_os"
@@ -305,6 +375,8 @@ let () =
           tc "read /dev/zero" `Quick test_read_dev_zero;
           tc "gettime monotonic" `Quick test_gettime_monotonic;
           tc "mmap ASLR differs" `Quick test_mmap_aslr_differs;
+          tc "patch_code syscall (SMC)" `Quick test_patch_code_syscall;
+          tc "patch_code rejects junk" `Quick test_patch_code_syscall_rejects_junk;
         ] );
       ( "signals",
         [

@@ -187,6 +187,46 @@ let test_period_grid_differential () =
   Util.Pool.set_jobs 1;
   Alcotest.(check string) "period grid identical at -j 1 and -j 4" g1 g4
 
+(* The decoded-block cache must be invisible end to end, not just at
+   the CPU boundary: the whole quick sweep (baseline + parallaft + raft
+   metrics rows), the merged Perfetto trace, the metric dump and a
+   fault-injection campaign tally must be byte-identical with the cache
+   at its default capacity and force-disabled. The profiler stays off
+   here: its "decoded" column is interpreter-internal by design and the
+   one number the cache setting is allowed to change. *)
+let with_block_cache capacity f =
+  let saved = Machine.Cpu.default_block_cache () in
+  Machine.Cpu.set_default_block_cache capacity;
+  Fun.protect
+    ~finally:(fun () -> Machine.Cpu.set_default_block_cache saved)
+    f
+
+let sweep_with_cache capacity =
+  with_block_cache capacity (fun () ->
+      Util.Pool.set_jobs 1;
+      let obs = Obs.Sink.create () in
+      let rows =
+        Experiments.Suite.sweep ~obs ~platform ~scale:0.1 ~quick:true ()
+      in
+      ( String.concat "\n" (List.map row_to_string rows),
+        Obs.Export.chrome_json obs.Obs.Sink.trace,
+        Obs.Metrics.to_text obs.Obs.Sink.metrics ))
+
+let test_block_cache_differential () =
+  let rows_on, trace_on, metrics_on = sweep_with_cache 4096 in
+  let rows_off, trace_off, metrics_off = sweep_with_cache 0 in
+  Alcotest.(check string) "sweep rows byte-identical cache on/off" rows_on
+    rows_off;
+  Alcotest.(check string) "merged trace byte-identical cache on/off" trace_on
+    trace_off;
+  Alcotest.(check string) "metric dump byte-identical cache on/off" metrics_on
+    metrics_off;
+  let tally_on = with_block_cache 4096 (fun () -> campaign_at 1) in
+  let tally_off = with_block_cache 0 (fun () -> campaign_at 1) in
+  Util.Pool.set_jobs 1;
+  Alcotest.(check string) "fault campaign tally identical cache on/off"
+    tally_on tally_off
+
 let () =
   Obs.Log.set_quiet true;
   let tc = Alcotest.test_case in
@@ -197,5 +237,6 @@ let () =
           tc "suite sweep -j1 = -j4" `Quick test_sweep_differential;
           tc "fault injection -j1 = -j4" `Quick test_fault_injection_differential;
           tc "period grid -j1 = -j4" `Quick test_period_grid_differential;
+          tc "block cache on = off" `Quick test_block_cache_differential;
         ] );
     ]
