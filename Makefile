@@ -1,8 +1,8 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  fault-smoke bench-json bench-smoke bench-gate block-cache-smoke \
-  invariants golden-check ci clean
+  fault-smoke fleet-smoke bench-json bench-smoke bench-gate \
+  block-cache-smoke invariants golden-check ci clean
 
 all: build
 
@@ -85,12 +85,13 @@ bench-smoke: build
 	  /tmp/parallaft_bench.json --threshold 0
 
 # Perf-trajectory regression gate: fresh (quick-budget) bechamel run
-# diffed against the committed pre-block-cache baseline artifact. The
+# diffed against the committed baseline artifact (refreshed whenever a
+# PR intentionally moves the numbers — last for the fleet rows). The
 # generous threshold absorbs host and quick-mode noise — the gate is
 # meant to catch order-of-magnitude interpreter regressions (e.g. the
 # block cache silently disabled), not single-digit drift. Only
 # regressions fail; improvements and added benches never do.
-BENCH_BASELINE := BENCH_v1_454ee2f.json
+BENCH_BASELINE := BENCH_v1_b190ae6613ee.json
 bench-gate: build
 	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 dune exec bench/main.exe -- \
 	  --against $(BENCH_BASELINE) --threshold 400
@@ -100,7 +101,17 @@ bench-gate: build
 block-cache-smoke: build
 	dune build @block-cache
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke bench-smoke bench-gate block-cache-smoke
+# Fleet mode end to end (DESIGN.md §16): a 4-tenant fleet on the shared
+# core pool with every scheduling event swept by the fleet-scope
+# invariants. Asserts all tenants complete, the work-stealing policy
+# fired (steals > 0), consolidation beats four serial runs by >= 2x,
+# per-tenant determinism vs the solo replay, and cross-tenant fault
+# isolation (a persistent fault in one tenant leaves the others' state
+# and recovery counters untouched). Exits nonzero on any violation.
+fleet-smoke: build
+	PARALLAFT_INVARIANTS=1 dune exec bin/fleet_smoke.exe
+
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke fleet-smoke bench-smoke bench-gate block-cache-smoke
 
 clean:
 	dune clean

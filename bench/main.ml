@@ -410,6 +410,80 @@ let profile_breakdown () =
   in
   r.Parallaft.Runtime.stats.Parallaft.Stats.profile
 
+(* Fleet consolidation rows (DESIGN.md §16): simulated ns per verified
+   segment for a 4-tenant fleet on the shared pool vs the same four
+   tenants run serially, one at a time, with the same per-tenant rng
+   streams. Simulated time, so both rows are deterministic across
+   hosts. The generator refuses to emit an artifact in which
+   consolidation has stopped paying: serial must cost at least 2x the
+   fleet per verified segment (the fleet-smoke criterion, re-checked
+   here so a committed BENCH_*.json can't hide the regression). *)
+let fleet_rows () =
+  let platform = Platform.intel_i7 in
+  let config = Parallaft.Config.parallaft ~platform () in
+  let bench =
+    match Workloads.Spec.find "456.hmmer" with
+    | Some b ->
+      {
+        b with
+        Workloads.Spec.spec =
+          {
+            b.Workloads.Spec.spec with
+            Workloads.Codegen.gettime_every = 0;
+            rdtsc_every = 0;
+            mmap_churn = false;
+          };
+      }
+    | None -> failwith "fleet rows: 456.hmmer missing from the suite"
+  in
+  let program =
+    List.hd
+      (Workloads.Spec.programs bench ~page_size:platform.Platform.page_size
+         ~scale:0.25)
+  in
+  let n = 4 in
+  let fleet =
+    Fleet.run ~max_tenants:n ~platform ~config
+      ~programs:(List.init n (fun _ -> program))
+      ()
+  in
+  let serial =
+    List.init n (fun tid ->
+        let rng, prng = Fleet.tenant_rngs ~seed:42L ~tid in
+        Parallaft.Runtime.run_protected ~platform ~config ~program ~rng ~prng ())
+  in
+  let serial_wall =
+    List.fold_left
+      (fun acc (r : Parallaft.Runtime.report) -> acc + r.Parallaft.Runtime.wall_ns)
+      0 serial
+  in
+  let serial_segs =
+    List.fold_left
+      (fun acc (r : Parallaft.Runtime.report) ->
+        acc + r.Parallaft.Runtime.stats.Parallaft.Stats.segments_compared)
+      0 serial
+  in
+  let per_seg wall segs = float_of_int wall /. float_of_int (max 1 segs) in
+  let fleet_ns = per_seg fleet.Fleet.wall_ns fleet.Fleet.segments_verified in
+  let serial_ns = per_seg serial_wall serial_segs in
+  if serial_ns < 2.0 *. fleet_ns then begin
+    Printf.eprintf
+      "bench-json: fleet consolidation under 2x (fleet %.0f ns/segment, serial \
+       %.0f ns/segment)\n"
+      fleet_ns serial_ns;
+    exit 1
+  end;
+  Printf.printf "  %-34s %12.1f ns/segment (simulated)\n%!"
+    "fleet:throughput_4tenants" fleet_ns;
+  Printf.printf "  %-34s %12.1f ns/segment (simulated)\n%!"
+    "fleet:serial_4tenants" serial_ns;
+  [
+    { Experiments.Bench_report.name = "fleet:throughput_4tenants";
+      ns_per_run = fleet_ns };
+    { Experiments.Bench_report.name = "fleet:serial_4tenants";
+      ns_per_run = serial_ns };
+  ]
+
 let read_report_exn what path =
   match Report.read path with
   | Ok r -> r
@@ -426,6 +500,7 @@ let fresh_report () =
           (fun ns -> { Experiments.Bench_report.name; ns_per_run = ns })
           est)
       rows
+    @ fleet_rows ()
   in
   let report =
     { Experiments.Bench_report.meta = Report.metadata ();

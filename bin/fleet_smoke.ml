@@ -1,0 +1,173 @@
+(* CI smoke for fleet mode: a small multi-tenant fleet on the shared
+   core pool, run under PARALLAFT_INVARIANTS=1 (see `make fleet-smoke`)
+   so every tenant's every routed event also sweeps the fleet-scope
+   invariants (core ownership, tenant partitions).
+
+   Pass criteria:
+     - every tenant completes cleanly (exit 0, no abort)
+     - steals > 0            (the work-stealing policy actually fired)
+     - fleet throughput >= 2x the serial single-tenant throughput on
+       the same programs (the consolidation win the mode exists for)
+     - per-tenant determinism: each tenant's final state hash matches
+       its solo single-tenant run
+     - fault isolation: with a persistent fault injected into tenant 1
+       only, the other tenants see zero rollbacks/aborts and unchanged
+       final state hashes. *)
+
+module P = Parallaft
+
+let detimed bench =
+  {
+    bench with
+    Workloads.Spec.spec =
+      {
+        bench.Workloads.Spec.spec with
+        Workloads.Codegen.gettime_every = 0;
+        rdtsc_every = 0;
+        mmap_churn = false;
+      };
+  }
+
+let () =
+  let scale =
+    match Sys.getenv_opt "PARALLAFT_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  (* Consolidation needs spare little capacity: four tenants' checkers
+     want ~2 littles each, so the 8P+12E Intel model (not the 4+4 M2,
+     whose little cluster caps fleet speedup at ~1.7x for dense
+     compute) is the fixture platform. With 12 home slots and 4
+     tenants, idle littles only ever get work by stealing — so the
+     steals > 0 assertion exercises the policy, not luck. *)
+  let platform = Platform.intel_i7 in
+  let config = P.Config.parallaft ~platform () in
+  (* Cache-friendly dense compute: consolidation's best case (four
+     mains share the big cluster without thrashing its caches), and the
+     fixture the fleet:throughput_4tenants bench row uses. *)
+  let bench_name =
+    Option.value (Sys.getenv_opt "PARALLAFT_FLEET_BENCH") ~default:"456.hmmer"
+  in
+  let bench =
+    detimed
+      (match Workloads.Spec.find bench_name with
+      | Some b -> b
+      | None ->
+        failwith
+          (Printf.sprintf "fleet-smoke: %s missing from the suite" bench_name))
+  in
+  let program =
+    List.hd
+      (Workloads.Spec.programs bench ~page_size:platform.Platform.page_size
+         ~scale:(scale *. 0.25))
+  in
+  let n = 4 in
+  let programs = List.init n (fun _ -> program) in
+  Obs.Log.progress "fleet-smoke: %d tenants of %s (invariants %s)" n
+    bench.Workloads.Spec.name
+    (if config.P.Config.check_invariants then "on" else "OFF");
+  let fleet = Fleet.run ~max_tenants:n ~platform ~config ~programs () in
+  let solo =
+    (* The fleet's tenant rngs, replayed solo: the per-tenant
+       determinism baseline. *)
+    List.init n (fun tid ->
+        let rng, prng = Fleet.tenant_rngs ~seed:42L ~tid in
+        P.Runtime.run_protected ~platform ~config ~program ~rng ~prng ())
+  in
+  let serial_wall =
+    List.fold_left (fun acc (r : P.Runtime.report) -> acc + r.P.Runtime.wall_ns) 0 solo
+  in
+  let failures = ref [] in
+  let check name ok detail =
+    if not ok then failures := Printf.sprintf "%s (%s)" name detail :: !failures
+  in
+  List.iter
+    (fun (t : Fleet.tenant_report) ->
+      check
+        (Printf.sprintf "tenant %d completed" t.Fleet.tid)
+        (t.Fleet.outcome = Fleet.Completed && t.Fleet.exit_status = Some 0)
+        (Printf.sprintf "exit=%s"
+           (match t.Fleet.exit_status with
+           | Some s -> string_of_int s
+           | None -> "none"));
+      let solo_hash =
+        P.Stats.final_state_hash (List.nth solo t.Fleet.tid).P.Runtime.stats
+      in
+      check
+        (Printf.sprintf "tenant %d deterministic vs solo" t.Fleet.tid)
+        (t.Fleet.final_state_hash <> None && t.Fleet.final_state_hash = solo_hash)
+        "final state hash differs from solo run")
+    fleet.Fleet.tenants;
+  check "steals > 0" (fleet.Fleet.steals > 0)
+    (Printf.sprintf "steals=%d" fleet.Fleet.steals);
+  let speedup =
+    float_of_int serial_wall /. float_of_int (max 1 fleet.Fleet.wall_ns)
+  in
+  check "throughput >= 2x serial" (speedup >= 2.0)
+    (Printf.sprintf "%.2fx (fleet %d ns vs serial %d ns)" speedup
+       fleet.Fleet.wall_ns serial_wall);
+  (* Blast radius: persistent checker-register fault in tenant 1 only,
+     with recovery on. Tenant 1 may roll back or abort; every other
+     tenant must be untouched. *)
+  let faulted =
+    Fleet.run ~max_tenants:n ~platform
+      ~config:{ config with P.Config.recovery = true }
+      ~configure:(fun tid cfg ->
+        if tid = 1 then
+          {
+            cfg with
+            P.Config.fault_plan =
+              Some
+                {
+                  Fault.segment = 1;
+                  delay_instructions = 50;
+                  (* r8 is live workload state in generated code, so the
+                     flip reliably surfaces in the state comparison. *)
+                  target = Fault.Checker_register { reg = 8; bit = 33 };
+                  repeat = true;
+                };
+          }
+        else cfg)
+      ~programs ()
+  in
+  let struck =
+    List.find (fun (t : Fleet.tenant_report) -> t.Fleet.tid = 1)
+      faulted.Fleet.tenants
+  in
+  (match struck.Fleet.stats with
+  | None -> check "tenant 1 admitted" false "no stats"
+  | Some st ->
+    check "fault landed in tenant 1"
+      (st.P.Stats.recoveries > 0 || st.P.Stats.hard_faults > 0
+     || List.length st.P.Stats.detections > 0)
+      "no detection/rollback in the faulted tenant");
+  List.iter
+    (fun (t : Fleet.tenant_report) ->
+      if t.Fleet.tid <> 1 then begin
+        (match t.Fleet.stats with
+        | None -> check "bystander admitted" false "no stats"
+        | Some st ->
+          check
+            (Printf.sprintf "tenant %d unaffected" t.Fleet.tid)
+            (st.P.Stats.recoveries = 0 && st.P.Stats.hard_faults = 0
+           && st.P.Stats.watchdog_kills = 0
+            && t.Fleet.outcome = Fleet.Completed)
+            (Printf.sprintf "rollbacks=%d hard=%d wd=%d" st.P.Stats.recoveries
+               st.P.Stats.hard_faults st.P.Stats.watchdog_kills));
+        let solo_hash =
+          P.Stats.final_state_hash (List.nth solo t.Fleet.tid).P.Runtime.stats
+        in
+        check
+          (Printf.sprintf "tenant %d state unchanged" t.Fleet.tid)
+          (t.Fleet.final_state_hash = solo_hash)
+          "final state hash changed under a neighbour's fault"
+      end)
+    faulted.Fleet.tenants;
+  match !failures with
+  | [] ->
+    Obs.Log.progress
+      "fleet-smoke: OK (%.2fx speedup, %d steals, %d verified; isolation held)"
+      speedup fleet.Fleet.steals fleet.Fleet.segments_verified
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "fleet-smoke FAILED: %s\n" f) fs;
+    exit 1

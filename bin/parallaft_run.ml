@@ -65,9 +65,67 @@ let build_plan fault fault_target =
       | Ok () -> Ok (Some plan)
       | Error m -> Error m))
 
+(* Fleet mode (--tenants N > 1): N tenants of the selected program on
+   one shared big/little pool (DESIGN.md §16). A --fault plan arms in
+   tenant 0 only, so the stats dump doubles as an isolation demo: the
+   other tenants' rows must stay clean. *)
+let run_fleet ~tenants ~max_tenants ~arrival ~config ~platform ~program ~seed
+    ~fault_plan ~show_output:_ ~dump_obs sink =
+  let configure tid cfg =
+    if tid = 0 then { cfg with Parallaft.Config.fault_plan } else cfg
+  in
+  let f =
+    Fleet.run ~seed ?max_tenants ~arrival ~configure ~platform ~config
+      ~programs:(List.init tenants (fun _ -> program))
+      ()
+  in
+  let dumped = dump_obs sink in
+  Printf.printf "fleet.tenants %d\n" tenants;
+  Printf.printf "fleet.admitted %d\n" f.Fleet.admitted;
+  Printf.printf "fleet.rejected %d\n" f.Fleet.rejected;
+  Printf.printf "fleet.steals %d\n" f.Fleet.steals;
+  Printf.printf "fleet.migrations %d\n" f.Fleet.migrations;
+  Printf.printf "fleet.segments_verified %d\n" f.Fleet.segments_verified;
+  Printf.printf "fleet.wall_ns %d\n" f.Fleet.wall_ns;
+  Printf.printf "fleet.throughput_segments_per_s %.1f\n"
+    f.Fleet.throughput_segments_per_s;
+  Printf.printf "hwmon.energy_joules %.6f\n" f.Fleet.energy_j;
+  List.iter
+    (fun (t : Fleet.tenant_report) ->
+      let pre = Printf.sprintf "fleet.tenant%d" t.Fleet.tid in
+      Printf.printf "%s.outcome %s\n" pre
+        (match t.Fleet.outcome with
+        | Fleet.Completed -> "completed"
+        | Fleet.Aborted -> "aborted"
+        | Fleet.Rejected -> "rejected"
+        | Fleet.Unfinished -> "unfinished");
+      Printf.printf "%s.exit_status %s\n" pre
+        (match t.Fleet.exit_status with
+        | Some s -> string_of_int s
+        | None -> "none");
+      (match t.Fleet.stats with
+      | Some st ->
+        Printf.printf "%s.segments_compared %d\n" pre
+          st.Parallaft.Stats.segments_compared;
+        Printf.printf "%s.recoveries %d\n" pre st.Parallaft.Stats.recoveries;
+        Printf.printf "%s.detections %d\n" pre
+          (List.length st.Parallaft.Stats.detections)
+      | None -> ());
+      match (t.Fleet.admitted_ns, t.Fleet.completed_ns) with
+      | Some a, Some c -> Printf.printf "%s.wall_ns %d\n" pre (c - a)
+      | _ -> ())
+    f.Fleet.tenants;
+  let any_bad =
+    List.exists
+      (fun (t : Fleet.tenant_report) ->
+        t.Fleet.outcome = Fleet.Aborted || t.Fleet.outcome = Fleet.Unfinished)
+      f.Fleet.tenants
+  in
+  if not dumped then 1 else if any_bad then 3 else 0
+
 let run platform_name mode_name period scale workload input asm_file seed
     show_output trace_file metrics_file fault fault_target recheck recovery
-    profile block_cache cpu_stats =
+    profile block_cache cpu_stats tenants max_tenants arrival_gap =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -138,6 +196,12 @@ let run platform_name mode_name period scale workload input asm_file seed
             false
         in
         match mode with
+        | (Mode_baseline | Mode_raft) when tenants > 1 ->
+          prerr_endline
+            "parallaft: --tenants > 1 requires --mode parallaft (the fleet \
+             schedules segment checkers, which baseline/raft runs don't \
+             produce per-segment)";
+          1
         | Mode_baseline when fault <> None ->
           prerr_endline
             "parallaft: --fault only applies to parallaft/raft modes \
@@ -197,6 +261,16 @@ let run platform_name mode_name period scale workload input asm_file seed
                 | Some n -> n
                 | None -> config.Parallaft.Config.block_cache) }
           in
+          if tenants > 1 then
+            let config = { config with Parallaft.Config.fault_plan = None } in
+            let arrival =
+              match arrival_gap with
+              | None | Some 0 -> Fleet.Batch
+              | Some gap -> Fleet.Staggered gap
+            in
+            run_fleet ~tenants ~max_tenants ~arrival ~config ~platform ~program
+              ~seed ~fault_plan ~show_output ~dump_obs sink
+          else
           let r = Parallaft.Runtime.run_protected ~seed ~platform ~config ~program () in
           let dumped = dump_obs r.Parallaft.Runtime.obs in
           List.iter
@@ -317,13 +391,35 @@ let recovery_arg =
                back to the last verified checkpoint and re-execute instead of \
                terminating the run.")
 
+let tenants_arg =
+  Arg.(value & opt int 1 & info [ "tenants" ] ~docv:"N"
+         ~doc:"Fleet mode (DESIGN.md §16): run $(docv) tenants of the selected \
+               workload concurrently on one shared big/little core pool, each \
+               under its own Parallaft pipeline, checkers scheduled by \
+               work-stealing. Dumps fleet.* rows instead of the single-run \
+               stats. A --fault plan arms in tenant 0 only, so the other \
+               tenants' rows demonstrate fault isolation. Only valid with \
+               --mode parallaft.")
+
+let max_tenants_arg =
+  Arg.(value & opt (some int) None & info [ "max-tenants" ] ~docv:"M"
+         ~doc:"Admission-control slots: at most $(docv) tenants live at once; \
+               later arrivals wait in the admission queue for a free slot \
+               (default: no limit beyond --tenants).")
+
+let arrival_arg =
+  Arg.(value & opt (some int) None & info [ "arrival" ] ~docv:"GAP_NS"
+         ~doc:"Open-loop arrivals: tenant $(i,i) arrives at $(i,i) * $(docv) \
+               simulated ns (0 or omitted: all tenants arrive at t=0).")
+
 let cmd =
   let term =
     Term.(
       const run $ platform_arg $ mode_arg $ period_arg $ scale_arg $ workload_arg
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
       $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg
-      $ profile_arg $ block_cache_arg $ cpu_stats_arg)
+      $ profile_arg $ block_cache_arg $ cpu_stats_arg $ tenants_arg
+      $ max_tenants_arg $ arrival_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

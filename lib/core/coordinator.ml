@@ -43,8 +43,18 @@ let handle_event (t : t) pid ev =
   Watchdog.poll t;
   Run_ctx.check_invariants t
 
-let create eng cfg ~program =
-  let t = Run_ctx.create eng cfg in
+(* Fleet completion detection: the tenant's simulation reached a fixed
+   point — aborted, or the main exited with no segment still recording
+   and no checker still live. (Recovery snapshots may outlive this
+   moment; Runtime/Fleet release them right after.) *)
+let drained (t : t) =
+  t.Run_ctx.aborted
+  || (t.Run_ctx.main_exited && t.Run_ctx.cur = None && t.Run_ctx.live = [])
+
+let release_recovery_state = Run_ctx.release_recovery_state
+
+let create ?rng ?prng ?fleet eng cfg ~program =
+  let t = Run_ctx.create ?rng ?fleet eng cfg in
   t.Run_ctx.launch_checker <- Replayer.launch_checker t;
   t.Run_ctx.abort_run <- (fun () -> Recovery.abort_run t);
   t.Run_ctx.recover_or_abort <-
@@ -61,7 +71,7 @@ let create eng cfg ~program =
     ignore eng';
     handle_event t pid ev
   in
-  let main = E.spawn eng ~tracer ~program ~core:cfg.Config.main_core () in
+  let main = E.spawn eng ~tracer ?prng ~program ~core:cfg.Config.main_core () in
   t.Run_ctx.main <- main;
   Hashtbl.replace t.Run_ctx.roles main Run_ctx.Main_role;
   E.suspend eng main;

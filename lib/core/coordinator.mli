@@ -16,11 +16,37 @@
 
 type t
 
-val create : Sim_os.Engine.t -> Config.t -> program:Isa.Program.t -> t
+val create :
+  ?rng:Util.Rng.t ->
+  ?prng:Util.Rng.t ->
+  ?fleet:Core_pool.t * int ->
+  Sim_os.Engine.t ->
+  Config.t ->
+  program:Isa.Program.t ->
+  t
 (** Spawns the traced main process (pinned to [cfg.main_core]), forks
     the first checker, arms the slicer, and registers the pacer tick.
-    The engine must be freshly usable; multiple coordinators on one
-    engine are not supported. *)
+
+    Without [?fleet], the engine must be freshly usable and multiple
+    coordinators on one engine are unsupported — the single-tenant
+    path, byte-identical to before these options existed. With
+    [?fleet:(pool, tid)] the run becomes a tenant of the shared
+    {!Core_pool} (N coordinators then share one engine, one per
+    tenant, each on its own reserved main core). [rng] seeds the
+    runtime's emulation stream (rdrand results, recheck jitter) and
+    [prng] the main process's private OS entropy (ASLR, getrandom) —
+    the fleet derives both per tenant from the root seed so each
+    tenant's run is reproducible regardless of admission interleaving. *)
+
+val drained : t -> bool
+(** The run reached its fixed point: aborted, or main exited with no
+    segment recording and no checker live. Fleet completion detection —
+    recovery snapshots may still be alive; release them with
+    {!release_recovery_state} once drained. *)
+
+val release_recovery_state : t -> unit
+(** Kill any retained recovery-point / verified snapshots (fleet
+    teardown; the single-tenant path does this inside the pipeline). *)
 
 val stats : t -> Stats.t
 val main_pid : t -> Sim_os.Engine.pid

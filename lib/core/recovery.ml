@@ -72,7 +72,11 @@ let abort_run t =
   | None -> ());
   Hashtbl.reset t.watchdog;
   kill_if_alive t t.main;
-  release_recovery_state t
+  release_recovery_state t;
+  (* Fleet mode: the dead checkers' cores must return to the shared
+     pool now — other tenants keep running after this tenant aborts.
+     No-op standalone (the run is over). *)
+  Scheduler.flush t.sched
 
 (* Recovery-point bookkeeping: a snapshot becomes the recovery point once
    every segment up to it has verified; older points are freed. *)
@@ -163,7 +167,9 @@ let recover t =
     Hashtbl.replace t.roles snap Main_role;
     t.main <- snap;
     E.set_core t.eng snap ~core:t.cfg.Config.main_core;
-    (* A fresh scheduler: the old one's bookkeeping refers to dead pids. *)
-    t.sched <- Scheduler.create t.eng t.cfg t.stats;
+    (* A fresh scheduler: the old one's bookkeeping refers to dead pids.
+       In fleet mode re-creation re-registers the tenant, which flushes
+       its stale entries from the shared pool. *)
+    t.sched <- Scheduler.create ?fleet:t.fleet t.eng t.cfg t.stats;
     Recorder.start_segment t;
     E.resume t.eng snap

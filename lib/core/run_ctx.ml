@@ -14,6 +14,10 @@ type t = {
   cfg : Config.t;
   stats : Stats.t;
   mutable sched : Scheduler.t;
+  fleet : (Core_pool.t * int) option;
+      (* fleet mode: the shared pool and this run's tenant id; threaded
+         into every scheduler (re-)creation so rollback keeps the
+         tenant attached *)
   rng : Util.Rng.t;
   mutable main : E.pid;
   roles : (E.pid, role) Hashtbl.t;
@@ -71,14 +75,18 @@ let unwired _ =
     (Segment.Invariant_violation
        "run context: callback seam used before the coordinator wired it")
 
-let create eng cfg =
+let create ?rng ?fleet eng cfg =
   let stats = Stats.create () in
   {
     eng;
     cfg;
     stats;
-    sched = Scheduler.create eng cfg stats;
-    rng = Util.Rng.create ~seed:0x5EEDL;
+    sched = Scheduler.create ?fleet eng cfg stats;
+    fleet;
+    rng =
+      (match rng with
+      | Some r -> r
+      | None -> Util.Rng.create ~seed:0x5EEDL);
     main = -1;
     roles = Hashtbl.create 16;
     cur = None;
@@ -339,5 +347,10 @@ let check_invariants t =
       (fun pid ->
         if not (List.mem pid tracked_checkers) then
           violation "scheduler holds pid %d belonging to no tracked segment" pid)
-      (Scheduler.queued_pids t.sched @ Scheduler.running_pids t.sched)
+      (Scheduler.queued_pids t.sched @ Scheduler.running_pids t.sched);
+    (* Fleet scope: the shared pool's cross-tenant partitions must hold
+       after every one of any tenant's events. *)
+    match t.fleet with
+    | Some (pool, _) -> Core_pool.check_invariants pool
+    | None -> ()
   end

@@ -26,11 +26,12 @@ type baseline = {
 
 let max_sim_ns = 2_000_000_000 (* 2 simulated seconds: a generous hang bound *)
 
-let run_protected ?(seed = 42L) ?before_run ~platform ~config ~program () =
+let run_protected ?(seed = 42L) ?rng ?prng ?before_run ~platform ~config
+    ~program () =
   let eng =
     E.create ~block_cache:config.Config.block_cache ~platform ~seed ()
   in
-  let coord = Coordinator.create eng config ~program in
+  let coord = Coordinator.create ?rng ?prng eng config ~program in
   (match before_run with Some f -> f eng coord | None -> ());
   E.run ~max_ns:max_sim_ns eng;
   let stats = Coordinator.stats coord in

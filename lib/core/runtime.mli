@@ -31,6 +31,8 @@ type baseline = {
 
 val run_protected :
   ?seed:int64 ->
+  ?rng:Util.Rng.t ->
+  ?prng:Util.Rng.t ->
   ?before_run:(Sim_os.Engine.t -> Coordinator.t -> unit) ->
   platform:Platform.t ->
   config:Config.t ->
@@ -39,7 +41,10 @@ val run_protected :
   report
 (** [before_run] runs after the coordinator is set up but before the
     simulation — the hook for registering measurement ticks (PSS/power
-    samplers) or external-signal drivers. *)
+    samplers) or external-signal drivers. [rng]/[prng] are forwarded to
+    {!Coordinator.create}: passing a fleet tenant's streams
+    ({!Fleet.tenant_rngs}) replays that tenant's run solo — the
+    baseline the per-tenant determinism tests compare against. *)
 
 val run_baseline :
   ?seed:int64 ->

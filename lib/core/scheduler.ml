@@ -17,13 +17,25 @@ type t = {
   mutable main_exited : bool;
   mutable main_held : bool;
   mutable idle_ticks : int;
+  fleet : (Core_pool.t * int) option;
+      (* fleet mode: every operation delegates to the shared pool under
+         this tenant id; the per-run fields above stay empty *)
 }
 
-let create eng cfg stats =
+let create ?fleet eng cfg stats =
   let little = Sim_os.Engine.little_cores eng in
   let big_pool =
     List.filter (fun c -> c <> cfg.Config.main_core) (Sim_os.Engine.big_cores eng)
   in
+  (match fleet with
+  | None -> ()
+  | Some (pool, tid) ->
+    (* First creation admits the tenant; re-creation is the rollback
+       path (Recovery rebuilds the scheduler facade) and flushes the
+       tenant's now-dead entries from the pool inside register. *)
+    if stats.Stats.fleet = None then
+      stats.Stats.fleet <- Some { Stats.home_dispatches = 0; stolen = 0 };
+    Core_pool.register_tenant pool ~tid ~stats ~main_core:cfg.Config.main_core);
   {
     eng;
     cfg;
@@ -37,6 +49,7 @@ let create eng cfg stats =
     main_exited = false;
     main_held = false;
     idle_ticks = 0;
+    fleet;
   }
 
 let is_little t core = List.mem core t.little
@@ -171,12 +184,15 @@ let rec try_dispatch t =
         | None -> ())
 
 let enqueue t pid =
-  t.queued <- t.queued @ [ pid ];
-  observe t "sched.queue_depth" (float_of_int (List.length t.queued));
-  phase_enter t ~track:(Obs.Trace.Proc pid) "checker_launch";
-  try_dispatch t
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.enqueue pool ~tid pid
+  | None ->
+    t.queued <- t.queued @ [ pid ];
+    observe t "sched.queue_depth" (float_of_int (List.length t.queued));
+    phase_enter t ~track:(Obs.Trace.Proc pid) "checker_launch";
+    try_dispatch t
 
-let finished t pid =
+let finished_standalone t pid =
   match List.partition (fun e -> e.pid = pid) t.running with
   | [ e ], rest ->
     account t e;
@@ -195,29 +211,54 @@ let finished t pid =
       phase_leave t ~track:(Obs.Trace.Proc pid) "checker_launch"
     end
 
+let finished t pid =
+  match t.fleet with
+  | Some (pool, _) -> Core_pool.finished pool pid
+  | None -> finished_standalone t pid
+
 let on_main_exit t =
   t.main_exited <- true;
-  (* Late checkers finish on big cores (§4.5). *)
-  if t.cfg.Config.migration then begin
-    let continue_migrating = ref true in
-    while !continue_migrating do
-      match migrate_oldest_to_big t with
-      | Some freed ->
-        release_core t freed;
-        ()
-      | None -> continue_migrating := false
-    done
-  end;
-  try_dispatch t
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.main_exited pool ~tid
+  | None ->
+    (* Late checkers finish on big cores (§4.5). *)
+    if t.cfg.Config.migration then begin
+      let continue_migrating = ref true in
+      while !continue_migrating do
+        match migrate_oldest_to_big t with
+        | Some freed ->
+          release_core t freed;
+          ()
+        | None -> continue_migrating := false
+      done
+    end;
+    try_dispatch t
 
-let set_main_held t held = t.main_held <- held
+let set_main_held t held =
+  t.main_held <- held;
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.set_main_held pool ~tid held
+  | None -> ()
 
-let queued_count t = List.length t.queued
-let running_count t = List.length t.running
-let queued_pids t = t.queued
-let running_pids t = List.map (fun e -> e.pid) t.running
+let queued_pids t =
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.queued_pids pool ~tid
+  | None -> t.queued
 
-let pacer_tick t =
+let running_pids t =
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.running_pids pool ~tid
+  | None -> List.map (fun e -> e.pid) t.running
+
+let queued_count t = List.length (queued_pids t)
+let running_count t = List.length (running_pids t)
+
+let flush t =
+  match t.fleet with
+  | Some (pool, tid) -> Core_pool.flush_tenant pool ~tid
+  | None -> ()
+
+let pacer_tick_standalone t =
   List.iter (fun e -> account t e) t.running;
   emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Counter
     ~args:
@@ -271,3 +312,11 @@ let pacer_tick t =
     end
     else t.idle_ticks <- 0
   end
+
+let pacer_tick t =
+  match t.fleet with
+  | Some _ ->
+    (* The pool runs one fleet-wide pacer; per-tenant ticks would fight
+       over the shared little cluster's DVFS level. *)
+    ()
+  | None -> pacer_tick_standalone t

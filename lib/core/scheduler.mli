@@ -13,12 +13,21 @@
     Pacing policy: a periodic tick adjusts the little cluster's DVFS
     level — up under backlog pressure (queued checkers or a stalled
     main), down when little cores sit idle — so the cluster provides
-    "just enough" throughput. *)
+    "just enough" throughput.
+
+    {b Fleet mode.} Created with [?fleet:(pool, tid)], the scheduler
+    becomes a per-tenant facade over a shared {!Core_pool}: [enqueue],
+    [finished], [on_main_exit], [set_main_held] and the pid queries
+    delegate under the tenant id, [pacer_tick] is a no-op (the pool
+    runs one fleet-wide pacer), and creation registers the tenant —
+    re-creation (the rollback path) flushes the tenant's stale pool
+    entries. Without [?fleet] the behaviour is byte-identical to the
+    single-tenant scheduler. *)
 
 type t
 
 val create :
-  Sim_os.Engine.t -> Config.t -> Stats.t -> t
+  ?fleet:Core_pool.t * int -> Sim_os.Engine.t -> Config.t -> Stats.t -> t
 
 val enqueue : t -> Sim_os.Engine.pid -> unit
 (** Hand over a ready (stopped, fully armed) checker; it is resumed as
@@ -38,6 +47,12 @@ val set_main_held : t -> bool -> unit
     the strongest signal to raise the little-cluster frequency. *)
 
 val pacer_tick : t -> unit
+
+val flush : t -> unit
+(** Fleet mode: drop every pool entry of this scheduler's tenant
+    (queued entries leave the deques, running entries free their
+    cores) — the teardown half of an abort, after the tenant's
+    processes were killed. No-op standalone. *)
 
 val queued_count : t -> int
 val running_count : t -> int

@@ -1,3 +1,8 @@
+type fleet = {
+  mutable home_dispatches : int;
+  mutable stolen : int;
+}
+
 type t = {
   mutable checkpoint_count : int;
   mutable nr_slices : int;
@@ -31,6 +36,7 @@ type t = {
   mutable final_mem_hash : int64 option;
   mutable profile : (string * int) list;
   mutable block_cache : (int * int * int) option;
+  mutable fleet : fleet option;
 }
 
 let create () =
@@ -67,6 +73,7 @@ let create () =
     final_mem_hash = None;
     profile = [];
     block_cache = None;
+    fleet = None;
   }
 
 (* One digest over the main process's final architectural state
@@ -132,12 +139,21 @@ let to_assoc t =
       t.profile
   (* Same opt-in discipline: block-cache rows only when --cpu-stats
      asked for them, keeping the goldens byte-identical by default. *)
+  @ (match t.block_cache with
+    | None -> []
+    | Some (hits, misses, invalidations) ->
+      [
+        ("cpu.block_cache_hits", string_of_int hits);
+        ("cpu.block_cache_misses", string_of_int misses);
+        ("cpu.block_cache_invalidations", string_of_int invalidations);
+      ])
+  (* Fleet rows only exist for tenants scheduled by a [Core_pool], so
+     single-tenant runs (and every pre-fleet golden) are unchanged. *)
   @
-  match t.block_cache with
+  match t.fleet with
   | None -> []
-  | Some (hits, misses, invalidations) ->
+  | Some fl ->
     [
-      ("cpu.block_cache_hits", string_of_int hits);
-      ("cpu.block_cache_misses", string_of_int misses);
-      ("cpu.block_cache_invalidations", string_of_int invalidations);
+      ("fleet.home_dispatches", string_of_int fl.home_dispatches);
+      ("fleet.stolen", string_of_int fl.stolen);
     ]

@@ -2,6 +2,15 @@
     (timing.all_wall_time, counter.checkpoint_count,
     fixed_interval_slicer.nr_slices, ...). *)
 
+type fleet = {
+  mutable home_dispatches : int;
+      (** checkers dispatched on the tenant's home little core via the
+          owner's LIFO pop *)
+  mutable stolen : int;
+      (** checkers that ran off-home: FIFO-stolen by another little
+          core's owner or drained directly onto a shared big core *)
+}
+
 type t = {
   mutable checkpoint_count : int;
       (** forks taken: checkers + end snapshots + mmap-split extras *)
@@ -64,6 +73,10 @@ type t = {
           over every CPU of the run, filled by [Runtime] only under
           [Config.cpu_stats]; [None] keeps the stats dump (and the
           goldens) unchanged, same discipline as [profile] *)
+  mutable fleet : fleet option;
+      (** per-tenant work-stealing counters, filled by [Fleet] runs only
+          ([None] on the single-tenant path, keeping goldens
+          byte-identical) *)
 }
 
 val create : unit -> t

@@ -63,6 +63,13 @@ let all () =
       run = (fun () -> Exp_intel.run ~scale ~quick);
     };
     {
+      name = "fleet";
+      title =
+        "Fleet mode: multi-tenant throughput/latency/energy vs tenant count \
+         (DESIGN.md §16)";
+      run = (fun () -> Exp_fleet.run ~platform:Platform.apple_m2 ~scale ~quick);
+    };
+    {
       name = "ablation";
       title = "Ablations: dirty tracking, scheduling, hash choice (DESIGN.md §5)";
       run = (fun () -> Exp_ablation.run ~scale);
@@ -84,7 +91,10 @@ let find which =
     (* The paper's evaluation; our own extensions (calibration, ablations)
        are invoked by name. *)
     Some
-      (List.filter (fun e -> e.name <> "calibrate" && e.name <> "ablation") exps)
+      (List.filter
+         (fun e ->
+           e.name <> "calibrate" && e.name <> "ablation" && e.name <> "fleet")
+         exps)
   | name -> (
     match List.find_opt (fun e -> e.name = name) exps with
     | Some e -> Some [ e ]

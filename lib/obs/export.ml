@@ -22,14 +22,17 @@ let pid_tid (track : Trace.track) =
   | Trace.Core c -> (0, c)
   | Trace.Proc p -> (1, p)
   | Trace.Run -> (2, 0)
+  | Trace.Tenant n -> (3, n)
 
-let process_names = [ (0, "cores"); (1, "checkers"); (2, "runtime") ]
+let process_names =
+  [ (0, "cores"); (1, "checkers"); (2, "runtime"); (3, "tenants") ]
 
 let track_label (track : Trace.track) =
   match track with
   | Trace.Core c -> Printf.sprintf "core %d" c
   | Trace.Proc p -> Printf.sprintf "pid %d" p
   | Trace.Run -> "run"
+  | Trace.Tenant n -> Printf.sprintf "tenant %d" n
 
 (* Timestamps are microseconds in the trace_event format; print the
    simulated nanoseconds as a fixed-point "us.nnn" so the exporter is

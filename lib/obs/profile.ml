@@ -127,7 +127,9 @@ let retire t ~ts_ns ~track frame rest =
   a.count <- a.count + 1;
   a.total_ns <- a.total_ns + elapsed;
   a.self_ns <- a.self_ns + self;
-  (match track with Trace.Core _ -> a.wall <- true | Trace.Proc _ | Trace.Run -> ());
+  (match track with
+  | Trace.Core _ -> a.wall <- true
+  | Trace.Proc _ | Trace.Run | Trace.Tenant _ -> ());
   (match frame.segment with Some s -> seg_add t s frame.name self | None -> ());
   (match rest with
   | parent :: _ -> parent.child_ns <- parent.child_ns + elapsed

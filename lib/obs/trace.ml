@@ -1,6 +1,7 @@
 type track =
   | Core of int
   | Proc of int
+  | Tenant of int  (* fleet mode: one row per admitted guest program *)
   | Run
 
 type phase =

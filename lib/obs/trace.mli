@@ -15,6 +15,9 @@
 type track =
   | Core of int  (** a physical core's timeline (the main process) *)
   | Proc of int  (** a process timeline, keyed by pid (checkers) *)
+  | Tenant of int
+      (** fleet mode: one row per admitted guest program (admission,
+          completion, steal/teardown instants) *)
   | Run  (** run-global instants: detections, recoveries, pacing *)
 
 type phase =

@@ -55,6 +55,12 @@ and process = {
   mutable next_fd : int;
   mutable brk : int;
   mutable mmap_cursor : int;
+  (* Per-process entropy stream (fleet mode): when set, ASLR gap and
+     getrandom draws come from here instead of the engine-global rng, so
+     a process's address-space layout depends only on its own stream —
+     not on how other tenants' draws interleave with it. [None] (the
+     default) preserves the engine-global draw order bit for bit. *)
+  prng : Util.Rng.t option;
   sig_handlers : (int, int) Hashtbl.t;
   mutable sig_stack : (int * int array) list;
   pending_signals : int Queue.t;
@@ -296,7 +302,7 @@ let add_process t p =
   t.cores.(p.core).assigned <- t.cores.(p.core).assigned @ [ p.pid ];
   t.live <- t.live + 1
 
-let spawn t ?tracer ~program ~core () =
+let spawn t ?tracer ?prng ~program ~core () =
   if core < 0 || core >= Array.length t.cores then
     invalid_arg "Engine.spawn: no such core";
   let pid = t.next_pid in
@@ -306,10 +312,15 @@ let spawn t ?tracer ~program ~core () =
     (fun { Isa.Program.base; bytes } ->
       Mem.Address_space.write_bytes_map aspace ~addr:base bytes)
     program.Isa.Program.data;
+  let cpu_rng =
+    (* The per-process stream, when given, also seeds the CPU's skid
+       rng, so even counter-skid nondeterminism is tenant-local. *)
+    match prng with Some r -> Util.Rng.split r | None -> Util.Rng.split t.rng
+  in
   let cpu =
     Machine.Cpu.create ~max_skid:t.plat.Platform.max_skid
       ~max_insn_overcount:t.plat.Platform.max_insn_overcount
-      ~block_cache:t.block_cache ~rng:(Util.Rng.split t.rng) ~program ~aspace
+      ~block_cache:t.block_cache ~rng:cpu_rng ~program ~aspace
       ()
   in
   Machine.Cpu.set_nondet_trap cpu (Option.is_some tracer);
@@ -326,7 +337,14 @@ let spawn t ?tracer ~program ~core () =
       fd_table;
       next_fd = 3;
       brk = program.Isa.Program.initial_brk;
-      mmap_cursor = fresh_mmap_cursor t;
+      mmap_cursor =
+        (match prng with
+        | Some r ->
+          t.plat.Platform.mmap_area_base
+          + (Util.Rng.int r t.plat.Platform.aslr_entropy_pages
+            * t.plat.Platform.page_size)
+        | None -> fresh_mmap_cursor t);
+      prng;
       sig_handlers = Hashtbl.create 4;
       sig_stack = [];
       pending_signals = Queue.create ();
@@ -370,6 +388,12 @@ let fork_process t parent_pid =
       next_fd = parent.next_fd;
       brk = parent.brk;
       mmap_cursor = parent.mmap_cursor;
+      (* A copy, not a split: a snapshot promoted to main by a rollback
+         re-executes the same mmap/getrandom draws the original made,
+         keeping the recovered run's layout identical. Checkers never
+         draw (their mmaps replay MAP_FIXED, their getrandoms replay
+         recorded results), so the copy is inert for them. *)
+      prng = Option.map Util.Rng.copy parent.prng;
       sig_handlers;
       sig_stack = parent.sig_stack;
       pending_signals = Queue.create ();
@@ -451,8 +475,10 @@ let kernel_mmap t p call =
       let base =
         if flags land Syscall.map_fixed <> 0 then addr
         else begin
-          (* ASLR: each allocation lands at the cursor plus fresh entropy. *)
-          let gap = Util.Rng.int t.rng 16 * t.plat.Platform.page_size in
+          (* ASLR: each allocation lands at the cursor plus fresh entropy
+             (from the process's own stream when it has one). *)
+          let gap_rng = match p.prng with Some r -> r | None -> t.rng in
+          let gap = Util.Rng.int gap_rng 16 * t.plat.Platform.page_size in
           let base = p.mmap_cursor + gap in
           p.mmap_cursor <- base + len + t.plat.Platform.page_size;
           base
@@ -595,8 +621,9 @@ let do_syscall_internal t p =
   | Syscall.Getrandom { addr; len } -> (
     try
       let data = Bytes.create len in
+      let rand_rng = match p.prng with Some r -> r | None -> t.rng in
       for i = 0 to len - 1 do
-        Bytes.unsafe_set data i (Char.unsafe_chr (Util.Rng.int t.rng 256))
+        Bytes.unsafe_set data i (Char.unsafe_chr (Util.Rng.int rand_rng 256))
       done;
       ignore (Mem.Address_space.write_bytes aspace ~addr data);
       finish ~extra_cost:(len / 16) len

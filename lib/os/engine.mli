@@ -91,11 +91,28 @@ val dvfs_level : t -> cluster:int -> int
 
 (** {2 Processes} *)
 
-val spawn : t -> ?tracer:tracer -> program:Isa.Program.t -> core:int -> unit -> pid
+val spawn :
+  t ->
+  ?tracer:tracer ->
+  ?prng:Util.Rng.t ->
+  program:Isa.Program.t ->
+  core:int ->
+  unit ->
+  pid
 (** Load a program: map its data segments, set the break, open
     stdout/stderr, randomize the mmap base, and enqueue the process
     runnable on [core]. Traced processes trap nondeterministic
-    instructions; untraced ones execute them natively. *)
+    instructions; untraced ones execute them natively.
+
+    [prng], when given, becomes the process's private entropy stream:
+    ASLR (spawn base and per-mmap gaps), getrandom bytes and the CPU's
+    skid rng draw from it instead of the engine-global stream, so the
+    process's address-space layout depends only on its own stream — the
+    fleet derives one per tenant from the root seed, making each
+    tenant's run reproducible regardless of how other tenants' draws
+    interleave. Forked children inherit a {e copy} (a rollback snapshot
+    promoted to main re-draws exactly what the original drew). Without
+    [prng] the engine-global draw order is preserved bit for bit. *)
 
 val fork_process : t -> pid -> pid
 (** COW-fork a traced, currently stopped process (the runtime's

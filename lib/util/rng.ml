@@ -21,6 +21,19 @@ let split t =
      subsequent outputs. *)
   { state = mix64 seed }
 
+(* Keyed derivation: unlike [split], the child stream depends only on
+   (root, index), never on how many draws someone else has taken from a
+   shared parent — so per-tenant streams are identical regardless of the
+   order tenants are admitted in (DESIGN.md §16). The index is offset by
+   one and pushed through the same golden-gamma + mix64 pipeline as
+   [split], so [stream ~root ~index:0] differs from [create ~seed:root]. *)
+let stream ~root ~index =
+  if index < 0 then invalid_arg "Rng.stream: index must be non-negative";
+  let keyed =
+    Int64.add (mix64 root) (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  { state = mix64 keyed }
+
 let bits64 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 1)
 
 let int t bound =

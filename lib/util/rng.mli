@@ -22,6 +22,15 @@ val split : t -> t
     advancing [t]. Used to give each subsystem its own stream so that
     adding draws in one subsystem does not perturb another. *)
 
+val stream : root:int64 -> index:int -> t
+(** [stream ~root ~index] derives the [index]-th child stream of a root
+    seed {e without} any shared mutable parent: unlike {!split}, the
+    result depends only on [(root, index)], never on how many draws
+    other consumers have taken. This is what makes per-tenant fleet
+    streams reproducible regardless of admission order.
+
+    @raise Invalid_argument if [index < 0]. *)
+
 val next_int64 : t -> int64
 (** [next_int64 t] returns the next raw 64-bit output. *)
 

@@ -1,0 +1,255 @@
+(* Fleet mode (DESIGN.md §16): the work-stealing deque against a list
+   model, cross-tenant fault isolation, admission-order determinism,
+   and the teardown pid invariant. The heavier end-to-end smoke
+   (throughput >= 2x serial, steals > 0) lives in bin/fleet_smoke.ml
+   (`make fleet-smoke`). *)
+
+module P = Parallaft
+
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Deque vs list model: front-first list, push_back appends, pop_back
+   takes the newest, steal_front the oldest. Checking every op's result
+   AND the full contents after every op means no element can be lost or
+   duplicated by any interleaving of owner and thief operations. *)
+
+type op = Push of int | Pop | Steal | Remove_odd
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun x -> Push x) small_nat);
+        (2, return Pop);
+        (2, return Steal);
+        (1, return Remove_odd);
+      ])
+
+let show_op = function
+  | Push x -> Printf.sprintf "Push %d" x
+  | Pop -> "Pop"
+  | Steal -> "Steal"
+  | Remove_odd -> "Remove_odd"
+
+let arbitrary_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let qcheck_deque_matches_model =
+  QCheck.Test.make ~name:"deque = list model (no lost/dup elements)"
+    ~count:500 arbitrary_ops (fun ops ->
+      let d = Util.Deque.create () in
+      let model = ref [] (* oldest first *) in
+      let split_last l =
+        match List.rev l with
+        | [] -> (None, [])
+        | x :: rev_rest -> (Some x, List.rev rev_rest)
+      in
+      List.for_all
+        (fun op ->
+          let ok =
+            match op with
+            | Push x ->
+              Util.Deque.push_back d x;
+              model := !model @ [ x ];
+              true
+            | Pop ->
+              let got = Util.Deque.pop_back d in
+              let want, rest = split_last !model in
+              model := rest;
+              got = want
+            | Steal -> (
+              let got = Util.Deque.steal_front d in
+              match !model with
+              | [] -> got = None
+              | x :: rest ->
+                model := rest;
+                got = Some x)
+            | Remove_odd ->
+              let removed = Util.Deque.remove_where d (fun x -> x mod 2 = 1) in
+              let want_removed = List.filter (fun x -> x mod 2 = 1) !model in
+              model := List.filter (fun x -> x mod 2 = 0) !model;
+              removed = want_removed
+          in
+          ok
+          && Util.Deque.to_list d = !model
+          && Util.Deque.length d = List.length !model)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end fixtures: small detimed hmmer tenants on the Intel model
+   (enough little capacity for four tenants), invariants swept on every
+   scheduling event. *)
+
+let platform = Platform.intel_i7
+
+let program =
+  let bench =
+    match Workloads.Spec.find "456.hmmer" with
+    | Some b ->
+      {
+        b with
+        Workloads.Spec.spec =
+          {
+            b.Workloads.Spec.spec with
+            Workloads.Codegen.gettime_every = 0;
+            rdtsc_every = 0;
+            mmap_churn = false;
+          };
+      }
+    | None -> Alcotest.fail "456.hmmer missing from the suite"
+  in
+  List.hd
+    (Workloads.Spec.programs bench ~page_size:platform.Platform.page_size
+       ~scale:0.25)
+
+let config () =
+  { (P.Config.parallaft ~platform ()) with P.Config.check_invariants = true }
+
+let n = 4
+let programs = List.init n (fun _ -> program)
+
+let solo_hash tid =
+  let rng, prng = Fleet.tenant_rngs ~seed:42L ~tid in
+  let r =
+    P.Runtime.run_protected ~platform ~config:(config ()) ~program ~rng ~prng ()
+  in
+  P.Stats.final_state_hash r.P.Runtime.stats
+
+let tenant f tid =
+  List.find (fun (t : Fleet.tenant_report) -> t.Fleet.tid = tid) f.Fleet.tenants
+
+(* Fault isolation: a persistent checker-register flip armed in tenant 1
+   only. Tenant 1 must detect it; every other tenant must see zero
+   recovery activity and finish with the same state it reaches solo. *)
+let test_fault_isolation () =
+  let f =
+    Fleet.run ~max_tenants:n ~platform
+      ~config:{ (config ()) with P.Config.recovery = true }
+      ~configure:(fun tid cfg ->
+        if tid = 1 then
+          {
+            cfg with
+            P.Config.fault_plan =
+              Some
+                {
+                  Fault.segment = 1;
+                  delay_instructions = 50;
+                  target = Fault.Checker_register { reg = 8; bit = 33 };
+                  repeat = true;
+                };
+          }
+        else cfg)
+      ~programs ()
+  in
+  (match (tenant f 1).Fleet.stats with
+  | None -> Alcotest.fail "faulted tenant never admitted"
+  | Some st ->
+    Alcotest.(check bool)
+      "fault landed in tenant 1" true
+      (st.P.Stats.recoveries > 0
+      || st.P.Stats.hard_faults > 0
+      || st.P.Stats.detections <> []));
+  List.iter
+    (fun tid ->
+      let t = tenant f tid in
+      (match t.Fleet.stats with
+      | None -> Alcotest.fail "bystander never admitted"
+      | Some st ->
+        Alcotest.(check int)
+          (Printf.sprintf "tenant %d recoveries" tid)
+          0 st.P.Stats.recoveries;
+        Alcotest.(check int)
+          (Printf.sprintf "tenant %d hard faults" tid)
+          0 st.P.Stats.hard_faults;
+        Alcotest.(check int)
+          (Printf.sprintf "tenant %d watchdog kills" tid)
+          0 st.P.Stats.watchdog_kills);
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d completed" tid)
+        true
+        (t.Fleet.outcome = Fleet.Completed);
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d state unchanged" tid)
+        true
+        (t.Fleet.final_state_hash = solo_hash tid))
+    [ 0; 2; 3 ];
+  Alcotest.(check int) "no pids leaked" 0 f.Fleet.live_at_end
+
+(* Admission-order determinism: batch admission, staggered arrivals
+   through two admission slots, and the solo replay all give each
+   tenant the same architectural outcome, because its rng streams are
+   keyed by (seed, tid) alone. *)
+let test_admission_order_determinism () =
+  let batch = Fleet.run ~max_tenants:n ~platform ~config:(config ()) ~programs () in
+  let staggered =
+    Fleet.run ~max_tenants:2 ~arrival:(Fleet.Staggered 300_000) ~platform
+      ~config:(config ()) ~programs ()
+  in
+  List.iter
+    (fun tid ->
+      let b = tenant batch tid and s = tenant staggered tid in
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d completed in both" tid)
+        true
+        (b.Fleet.outcome = Fleet.Completed && s.Fleet.outcome = Fleet.Completed);
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d hash batch = staggered" tid)
+        true
+        (b.Fleet.final_state_hash <> None
+        && b.Fleet.final_state_hash = s.Fleet.final_state_hash);
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d hash = solo" tid)
+        true
+        (b.Fleet.final_state_hash = solo_hash tid))
+    (List.init n Fun.id);
+  Alcotest.(check int) "batch pids" 0 batch.Fleet.live_at_end;
+  Alcotest.(check int) "staggered pids" 0 staggered.Fleet.live_at_end
+
+(* A single-tenant fleet is just a protected run on the shared pool:
+   same final state as Runtime.run_protected with the tenant streams. *)
+let test_single_tenant_fleet_matches_run_protected () =
+  let f =
+    Fleet.run ~max_tenants:1 ~platform ~config:(config ())
+      ~programs:[ program ] ()
+  in
+  let t = tenant f 0 in
+  Alcotest.(check bool) "completed" true (t.Fleet.outcome = Fleet.Completed);
+  Alcotest.(check bool)
+    "hash = run_protected" true
+    (t.Fleet.final_state_hash = solo_hash 0)
+
+(* Reject admission: with one slot and batch arrivals, the overflow
+   tenants are turned away and the admitted one is undisturbed. *)
+let test_reject_admission () =
+  let f =
+    Fleet.run ~max_tenants:1 ~admission:Fleet.Reject_arrivals ~platform
+      ~config:(config ()) ~programs ()
+  in
+  Alcotest.(check int) "admitted" 1 f.Fleet.admitted;
+  Alcotest.(check int) "rejected" (n - 1) f.Fleet.rejected;
+  let t = tenant f 0 in
+  Alcotest.(check bool) "tenant 0 completed" true (t.Fleet.outcome = Fleet.Completed);
+  Alcotest.(check bool)
+    "rejected tenants reported" true
+    (List.for_all
+       (fun tid -> (tenant f tid).Fleet.outcome = Fleet.Rejected)
+       [ 1; 2; 3 ])
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "deque",
+        [ QCheck_alcotest.to_alcotest qcheck_deque_matches_model ] );
+      ( "fleet",
+        [
+          tc "fault isolation" `Quick test_fault_isolation;
+          tc "admission-order determinism" `Quick
+            test_admission_order_determinism;
+          tc "single tenant = run_protected" `Quick
+            test_single_tenant_fleet_matches_run_protected;
+          tc "reject admission" `Quick test_reject_admission;
+        ] );
+    ]
