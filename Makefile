@@ -1,7 +1,7 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  fault-smoke fleet-smoke bench-json bench-smoke bench-gate \
+  fault-smoke fleet-smoke seglog-smoke bench-json bench-smoke bench-gate \
   block-cache-smoke invariants golden-check ci clean
 
 all: build
@@ -91,7 +91,7 @@ bench-smoke: build
 # meant to catch order-of-magnitude interpreter regressions (e.g. the
 # block cache silently disabled), not single-digit drift. Only
 # regressions fail; improvements and added benches never do.
-BENCH_BASELINE := BENCH_v1_b190ae6613ee.json
+BENCH_BASELINE := BENCH_v1_919fecbf4a0b.json
 bench-gate: build
 	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 dune exec bench/main.exe -- \
 	  --against $(BENCH_BASELINE) --threshold 400
@@ -100,6 +100,30 @@ bench-gate: build
 # run) and observably off under --block-cache 0 (all rows zero).
 block-cache-smoke: build
 	dune build @block-cache
+
+# Persistent segment logs end to end (DESIGN.md §17): record a quick
+# run with --record-log, re-check it offline with parallaft-replay
+# (must verify clean, exit 0) and assert the page compression actually
+# compresses (ratio > 1.0 in the seglog.* stats rows). Then the other
+# direction: a run with an injected checker fault (live exit 3) must
+# also diverge offline (replay exit 3). Both legs run with the
+# segment-pipeline invariants on.
+SEGLOG_SMOKE_ARGS := --platform testing --workload 401.bzip2 --scale 0.05 --period 3000
+seglog-smoke: build
+	rm -rf /tmp/parallaft_seglog /tmp/parallaft_seglog_fault
+	PARALLAFT_INVARIANTS=1 dune exec -- parallaft $(SEGLOG_SMOKE_ARGS) \
+	  --record-log /tmp/parallaft_seglog > /tmp/parallaft_seglog_run.out
+	awk '/^seglog.compression_ratio/ { r = $$2 } \
+	  END { if (r == "" || r + 0 <= 1.0) \
+	    { print "seglog compression ratio not > 1.0: " r; exit 1 } }' \
+	  /tmp/parallaft_seglog_run.out
+	PARALLAFT_INVARIANTS=1 dune exec -- parallaft-replay /tmp/parallaft_seglog
+	sh -c 'PARALLAFT_INVARIANTS=1 dune exec -- parallaft $(SEGLOG_SMOKE_ARGS) \
+	  --fault 3,60,6,6 --fault-target checker-mem \
+	  --record-log /tmp/parallaft_seglog_fault \
+	  > /tmp/parallaft_seglog_fault.out; test $$? -eq 3'
+	sh -c 'PARALLAFT_INVARIANTS=1 dune exec -- parallaft-replay \
+	  /tmp/parallaft_seglog_fault; test $$? -eq 3'
 
 # Fleet mode end to end (DESIGN.md §16): a 4-tenant fleet on the shared
 # core pool with every scheduling event swept by the fleet-scope
@@ -111,7 +135,7 @@ block-cache-smoke: build
 fleet-smoke: build
 	PARALLAFT_INVARIANTS=1 dune exec bin/fleet_smoke.exe
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke fleet-smoke bench-smoke bench-gate block-cache-smoke
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke fleet-smoke seglog-smoke bench-smoke bench-gate block-cache-smoke
 
 clean:
 	dune clean

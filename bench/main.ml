@@ -132,6 +132,49 @@ let interp_loop ~block_cache () =
   let res = Machine.Cpu.run cpu ~env ~max_cycles:max_int in
   assert (res.Machine.Cpu.stop = Machine.Cpu.Halted)
 
+(* A representative recorded segment for the seglog writer bench: 64
+   dirty pages in the mix the compressor sees in practice — a quarter
+   all-zero, a quarter sparse (a few hot bytes), half dense
+   pseudo-random — plus a short event list and a register snapshot. *)
+let seglog_header () =
+  let config : Seglog.Record.run_config =
+    { mode_raft = false; slice_period = 3000; timeout_scale = 5.0;
+      compare_states = true; dirty_backend = "soft_dirty"; hasher = "xxh64";
+      seed = 7L; fault = None }
+  in
+  let config_digest =
+    Seglog.Record.config_digest ~platform:platform.Platform.name ~page_size
+      ~workload:"bench" config
+  in
+  { Seglog.Record.config_digest; platform = platform.Platform.name;
+    page_size; workload = "bench" }
+
+let seglog_segment_fixture () =
+  let page i =
+    match i mod 4 with
+    | 0 -> Bytes.make page_size '\x00'
+    | 1 ->
+      let b = Bytes.make page_size '\x00' in
+      for k = 0 to 7 do
+        Bytes.set b (((i * 53) + (k * 97)) mod page_size) '\x5a'
+      done;
+      b
+    | _ -> Bytes.init page_size (fun k -> Char.chr (((i * 131) + (k * 7)) land 0xff))
+  in
+  { Seglog.Record.id = 0;
+    preamble = [];
+    events =
+      [ Seglog.Record.Sys
+          { call = Sim_os.Syscall.Gettime; in_data = None; result = 123456;
+            effects = [] };
+        Seglog.Record.Nondet { insn = Isa.Insn.Rdtsc 3; value = 987654321 }
+      ];
+    end_point = { Seglog.Record.branches = 4096; pc = 17 };
+    insn_delta = 20000;
+    end_regs = Array.init 16 (fun r -> (r * 0x10001) - 3);
+    pages = Array.init 64 (fun i -> (i, page i))
+  }
+
 (* --- one microbench per table/figure --------------------------------- *)
 
 let tests =
@@ -271,6 +314,17 @@ let tests =
       (Staged.stage (fun () -> interp_loop ~block_cache:4096 ()));
     Test.make ~name:"interp:block_cache_off"
       (Staged.stage (fun () -> interp_loop ~block_cache:0 ()));
+    (* DESIGN.md §17: persisting one representative recorded segment —
+       64 dirty pages in the mix compression sees in practice (zero,
+       sparse, dense), written twice so the second write exercises the
+       xor-vs-parent delta alongside first-write raw/RLE. *)
+    Test.make ~name:"seglog:write_throughput"
+      (Staged.stage
+         (let seg = seglog_segment_fixture () in
+          fun () ->
+            let writer = Seglog.Writer.create ~header:(seglog_header ()) in
+            ignore (Seglog.Writer.segment writer seg);
+            ignore (Seglog.Writer.segment writer seg)));
   ]
 
 (* Runs every microbench, prints the familiar table, and returns the

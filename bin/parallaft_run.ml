@@ -125,7 +125,7 @@ let run_fleet ~tenants ~max_tenants ~arrival ~config ~platform ~program ~seed
 
 let run platform_name mode_name period scale workload input asm_file seed
     show_output trace_file metrics_file fault fault_target recheck recovery
-    profile block_cache cpu_stats tenants max_tenants arrival_gap =
+    profile block_cache cpu_stats tenants max_tenants arrival_gap record_log =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -196,6 +196,17 @@ let run platform_name mode_name period scale workload input asm_file seed
             false
         in
         match mode with
+        | (Mode_baseline | Mode_raft) when record_log <> None ->
+          prerr_endline
+            "parallaft: --record-log requires --mode parallaft (the segment \
+             log persists the per-segment record/replay stream, which \
+             baseline/raft runs don't produce)";
+          1
+        | Mode_parallaft when record_log <> None && tenants > 1 ->
+          prerr_endline
+            "parallaft: --record-log is incompatible with --tenants > 1 (the \
+             log captures one linear segment history)";
+          1
         | (Mode_baseline | Mode_raft) when tenants > 1 ->
           prerr_endline
             "parallaft: --tenants > 1 requires --mode parallaft (the fleet \
@@ -255,7 +266,7 @@ let run platform_name mode_name period scale workload input asm_file seed
           in
           let config =
             { config with Parallaft.Config.obs = sink; fault_plan; recovery;
-              recheck_on_mismatch = recheck; cpu_stats;
+              recheck_on_mismatch = recheck; cpu_stats; record_log;
               block_cache =
                 (match block_cache with
                 | Some n -> n
@@ -412,6 +423,14 @@ let arrival_arg =
          ~doc:"Open-loop arrivals: tenant $(i,i) arrives at $(i,i) * $(docv) \
                simulated ns (0 or omitted: all tenants arrive at t=0).")
 
+let record_log_arg =
+  Arg.(value & opt (some string) None & info [ "record-log" ] ~docv:"DIR"
+         ~doc:"Persist the run's segment record/replay stream as a \
+               $(i,parallaft-seglog v1) log in $(docv) (manifest.plog + one \
+               seg-NNNNNN.plog per verified segment). The log can be \
+               re-checked offline with $(b,parallaft-replay). Only valid \
+               with --mode parallaft and a single tenant.")
+
 let cmd =
   let term =
     Term.(
@@ -419,7 +438,7 @@ let cmd =
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
       $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg
       $ profile_arg $ block_cache_arg $ cpu_stats_arg $ tenants_arg
-      $ max_tenants_arg $ arrival_arg)
+      $ max_tenants_arg $ arrival_arg $ record_log_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

@@ -34,6 +34,7 @@ type t = {
   check_invariants : bool;
   block_cache : int;
   cpu_stats : bool;
+  record_log : string option;
   obs : Obs.Sink.t option;
 }
 
@@ -76,6 +77,7 @@ let parallaft ~platform ?slice_period () =
     check_invariants = invariants_from_env ();
     block_cache = Machine.Cpu.default_block_cache ();
     cpu_stats = false;
+    record_log = None;
     obs = None;
   }
 
@@ -103,5 +105,6 @@ let raft ~platform () =
     check_invariants = invariants_from_env ();
     block_cache = Machine.Cpu.default_block_cache ();
     cpu_stats = false;
+    record_log = None;
     obs = None;
   }

@@ -102,6 +102,14 @@ type t = {
           stats dump. Off by default so the default stats surface (and
           every golden) is unchanged — the same opt-in discipline as the
           [profile.*] rows. *)
+  record_log : string option;
+      (** persist a {!Seglog} of the run into this directory (one
+          [seg-NNNNNN.plog] per recorded segment plus a [manifest.plog]
+          at the end), for offline re-checking with [parallaft_replay].
+          [None] (the default) writes nothing and the run is
+          byte-identical to before the option existed. Requires
+          Parallaft mode with state comparison on (the log's verdict is
+          the comparison); see DESIGN.md §17. *)
   obs : Obs.Sink.t option;
       (** observability sink (event trace + metrics). [None] (the
           default) makes every emit site in the engine, coordinator and

@@ -11,6 +11,7 @@ type t = Run_ctx.t
 
 let stats (t : t) = t.Run_ctx.stats
 let main_pid (t : t) = t.Run_ctx.main
+let attach_seglog (t : t) out = t.Run_ctx.seglog <- Some out
 let first_error (t : t) = t.Run_ctx.first_error
 let aborted (t : t) = t.Run_ctx.aborted
 

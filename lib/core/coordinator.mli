@@ -38,6 +38,12 @@ val create :
     the fleet derives both per tenant from the root seed so each
     tenant's run is reproducible regardless of admission interleaving. *)
 
+val attach_seglog : t -> Seglog_io.out -> unit
+(** Attach an open [--record-log] output before the engine runs; the
+    recorder then persists every finished segment into it ([Runtime]
+    owns creation and the final manifest). Without it, the persistence
+    hooks are no-ops. *)
+
 val drained : t -> bool
 (** The run reached its fixed point: aborted, or main exited with no
     segment recording and no checker live. Fleet completion detection —

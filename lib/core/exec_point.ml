@@ -1,4 +1,7 @@
-type t = {
+(* The type itself is owned by the serializable log format: an
+   execution point is exactly what gets persisted, so the live pipeline
+   and the on-disk seglog share one definition. *)
+type t = Seglog.Record.exec_point = {
   branches : int;
   pc : int;
 }

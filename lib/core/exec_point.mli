@@ -12,7 +12,7 @@
     delays the interrupt), then the breakpoint filters visits of the
     target pc until the branch count matches. *)
 
-type t = {
+type t = Seglog.Record.exec_point = {
   branches : int;  (** branch count relative to segment start *)
   pc : int;
 }

@@ -1,0 +1,68 @@
+(** Offline replay of a persisted segment log (DESIGN.md §17).
+
+    [parallaft_replay] re-checks a [--record-log] directory without the
+    original run: a fresh simulation is created from the manifest's
+    platform/seed/program identity and one traced process re-executes
+    the whole recorded history segment by segment, driven by exactly
+    the live checker's replay mechanics — interactions answered from
+    the record, anonymous mmaps pinned to the recorded addresses,
+    external signals delivered at their recorded execution points,
+    boundary file-backed mmaps re-established from the preamble
+    records. At every segment end the process's registers and the
+    recorded dirty pages are compared byte for byte; after the last
+    segment the final-state digest is recomputed and checked against
+    the manifest.
+
+    Known limitation (documented in DESIGN.md §17): externally
+    effectful syscalls are answered from the record, never re-executed,
+    so the replayer's filesystem stays empty — file-backed mappings are
+    reproduced from the content snapshot the recorder embeds in the
+    preamble, not from a real file. *)
+
+type reg_diff = {
+  reg : int;
+  expected : int;  (** the recorded (live main) value *)
+  got : int;  (** the offline re-execution's value *)
+}
+
+(** First differing byte of the first differing recorded dirty page. *)
+type page_diff = {
+  vpn : int;
+  offset : int;  (** byte offset within the page *)
+  expected : int;  (** recorded byte value *)
+  got : int;
+}
+
+type divergence = {
+  segment : int;
+  point : Exec_point.t;
+      (** segment-relative execution point where the divergence was
+          established (the first diverging point the replay can name) *)
+  reason : string;
+  reg_diffs : reg_diff list;  (** non-empty for register-state mismatches *)
+  page_diff : page_diff option;
+}
+
+type verdict =
+  | Verified of {
+      segments : int;  (** segments replayed and compared clean *)
+      final_hash : int64 option;  (** manifest's recorded final-state hash *)
+      final_hash_matches : bool option;
+          (** recomputed-vs-recorded digest comparison; [None] when the
+              live main never exited (no recorded hash to check) *)
+    }
+  | Diverged of divergence
+
+val replay :
+  manifest:Seglog.Record.manifest ->
+  segments:Seglog.Record.segment list ->
+  (verdict, string) result
+(** Re-execute and re-check the whole recorded history. [segments]
+    must be the decoded segment files in manifest order ({!Reader}
+    enforces the fingerprint; this function re-checks the id order).
+    [Error] is an environment problem (unknown platform, undecodable
+    program, replay stall) as opposed to a verified divergence. *)
+
+val divergence_report : divergence -> string
+(** Multi-line human-readable report: diverging segment + execution
+    point, the register diffs, and the first differing page byte. *)

@@ -94,6 +94,35 @@ let end_segment t =
       else ([||], None)
     in
     Segment.finish_recording seg ~end_point ~insn_delta ~main_dirty ~snapshot;
+    (* Persist the finished segment when --record-log is active: the
+       same events the checker will consume, plus the end-of-segment
+       register snapshot and detached dirty-page payloads (the live
+       frames keep mutating once main resumes). *)
+    (match t.seglog with
+    | None -> ()
+    | Some out ->
+      let pt = page_table_of t t.main in
+      let pages =
+        Array.map (fun vpn -> (vpn, Mem.Page_table.copy_page_at pt ~vpn)) main_dirty
+      in
+      let bytes =
+        Seglog_io.write_segment out ~id:(Segment.id seg)
+          ~events:(Rr_log.events (Segment.log seg))
+          ~end_point ~insn_delta
+          ~end_regs:(Machine.Cpu.snapshot_regs (main_cpu t))
+          ~pages
+      in
+      if bytes > 0 then begin
+        emit_ev t ~track:(main_track t) ~phase:Obs.Trace.Instant
+          ~args:
+            [
+              ("seg", Obs.Trace.Int (Segment.id seg));
+              ("bytes", Obs.Trace.Int bytes);
+            ]
+          "seglog.write";
+        observe t "seglog.bytes" (float_of_int bytes);
+        charge_seglog_write t ~segment:(Segment.id seg) t.main ~bytes
+      end);
     emit_ev t ~track:(main_track t) ~phase:Obs.Trace.End
       ~args:
         [
@@ -228,9 +257,26 @@ let record_and_pass t call =
 (* File-backed private mmap: slice around the call so the mapping is
    established outside any segment and inherited by the next checker's
    fork (§4.3.2). *)
-let mmap_split t =
+let mmap_split t call =
   end_segment t;
   E.do_syscall t.eng t.main;
+  (* The boundary call executes between segments, so it is invisible to
+     the checker — but offline replay must re-establish the mapping, so
+     it is persisted as the next segment's preamble. [in_data] carries
+     the mapped bytes: the offline replayer has no filesystem state (the
+     files the program wrote were answered from the record, never
+     created), so the content must travel with the log. *)
+  (match t.seglog with
+  | None -> ()
+  | Some out ->
+    let result = Machine.Cpu.get_reg (main_cpu t) 0 in
+    let in_data =
+      match (call : Sim_os.Syscall.call) with
+      | Sim_os.Syscall.Mmap { len; _ } when result >= 0 && len > 0 ->
+        read_mem_opt t t.main ~addr:result ~len
+      | _ -> None
+    in
+    Seglog_io.note_preamble out { Rr_log.call; in_data; result; effects = [] });
   start_segment t;
   E.resume t.eng t.main
 
@@ -263,7 +309,7 @@ let handle_main_event t ev =
       on_main_exited t
     | Sim_os.Syscall.Mmap { flags; fd; _ }
       when flags land Sim_os.Syscall.map_anon = 0 && fd >= 0 ->
-      mmap_split t
+      mmap_split t call
     | _ -> record_and_pass t call)
   | E.Nondet insn ->
     let value = emulate_nondet t t.main insn in

@@ -157,6 +157,12 @@ let recover t =
        back (Hard_fault), not something another rollback can fix. *)
     t.rollback_anchor <- Some anchor_id;
     t.verified_since_rollback <- false;
+    (* Post-rollback segments re-execute from the checkpoint, so they
+       no longer extend the persisted linear history: truncate the
+       on-disk log at the last recorded segment. *)
+    (match t.seglog with
+    | Some out -> Seglog_io.note_rollback out
+    | None -> ());
     (* The rollback phase runs on the Run track (concurrent work, not
        part of the main-core wall partition: re-recording overlaps it)
        until re-executed work verifies again in [note_verified]. *)

@@ -1,16 +1,21 @@
-type mem_effect = {
+(* The event types are re-exports of the serializable seglog records:
+   the live pipeline stores and replays exactly what the on-disk format
+   can express, so the in-memory path doubles as a proof that the
+   format is complete. *)
+
+type mem_effect = Seglog.Record.mem_effect = {
   addr : int;
   data : Bytes.t;
 }
 
-type sys_record = {
+type sys_record = Seglog.Record.sys_record = {
   call : Sim_os.Syscall.call;
   in_data : Bytes.t option;
   result : int;
   effects : mem_effect list;
 }
 
-type event =
+type event = Seglog.Record.event =
   | Sys of sys_record
   | Nondet of {
       insn : Isa.Insn.t;
@@ -21,29 +26,32 @@ type event =
       signum : Sim_os.Sig_num.t;
     }
 
-(* Growable array: cursors index into it, so the log can keep growing
-   while a checker replays (the RAFT streaming mode). *)
+(* The log IS a seglog event stream: [record] encodes straight into a
+   growable byte buffer and cursors decode back out of it. Cursors hold
+   byte positions, so the buffer can keep growing while a checker
+   replays (the RAFT streaming mode) — a re-created reader over the
+   same bytes sees every appended event. *)
 type t = {
-  mutable arr : event array;
+  buf : Seglog.Codec.wbuf;
   mutable n : int;
 }
 
-let placeholder = Nondet { insn = Isa.Insn.Nop; value = 0 }
-
-let create () = { arr = Array.make 16 placeholder; n = 0 }
+let create () = { buf = Seglog.Codec.wbuf (); n = 0 }
 
 let record t ev =
-  if t.n = Array.length t.arr then begin
-    let grown = Array.make (2 * t.n) placeholder in
-    Array.blit t.arr 0 grown 0 t.n;
-    t.arr <- grown
-  end;
-  t.arr.(t.n) <- ev;
+  Seglog.Record.put_event t.buf ev;
   t.n <- t.n + 1
 
 let length t = t.n
 
-let events t = Array.to_list (Array.sub t.arr 0 t.n)
+(* Decoding our own buffer cannot fail; a Codec.Error here is a codec
+   bug, so it propagates. *)
+let reader_at t pos =
+  Seglog.Codec.rbuf ~pos ~limit:(Seglog.Codec.wlen t.buf) (Seglog.Codec.wdata t.buf)
+
+let events t =
+  let r = reader_at t 0 in
+  List.init t.n (fun _ -> Seglog.Record.get_event r)
 
 let signal_points t =
   List.filter_map
@@ -54,26 +62,27 @@ let signal_points t =
 
 type cursor = {
   log : t;
-  mutable idx : int;
+  mutable pos : int;  (** byte offset of the next un-consumed event *)
 }
 
-let cursor t = { log = t; idx = 0 }
+let cursor t = { log = t; pos = 0 }
 
 let rec next_interaction c =
-  if c.idx >= c.log.n then None
-  else
-    match c.log.arr.(c.idx) with
-    | Ext_signal _ ->
-      c.idx <- c.idx + 1;
-      next_interaction c
-    | (Sys _ | Nondet _) as ev ->
-      c.idx <- c.idx + 1;
-      Some ev
+  if c.pos >= Seglog.Codec.wlen c.log.buf then None
+  else begin
+    let r = reader_at c.log c.pos in
+    let ev = Seglog.Record.get_event r in
+    c.pos <- Seglog.Codec.rpos r;
+    match ev with
+    | Ext_signal _ -> next_interaction c
+    | Sys _ | Nondet _ -> Some ev
+  end
 
 let remaining_interactions c =
+  let r = reader_at c.log c.pos in
   let count = ref 0 in
-  for i = c.idx to c.log.n - 1 do
-    match c.log.arr.(i) with
+  while Seglog.Codec.remaining r > 0 do
+    match Seglog.Record.get_event r with
     | Sys _ | Nondet _ -> incr count
     | Ext_signal _ -> ()
   done;

@@ -9,25 +9,32 @@
     of its interactions must match the next record (else a divergence —
     i.e. an error — is flagged) and is answered from the record instead
     of the outside world, so externally visible effects happen exactly
-    once. *)
+    once.
 
-type mem_effect = {
+    The event types are re-exports of {!Seglog.Record} and the log
+    itself stores seglog-encoded bytes: the in-memory path is a
+    writer+reader pair over the same format [--record-log] persists,
+    so replay consumes only what the format can express.
+
+    [in_data] holds bytes the kernel read from main memory (write
+    payloads, open paths) — compared against the checker's buffer.
+    [effects] holds bytes the kernel wrote into main memory
+    (read/getrandom data) — injected into the checker instead of
+    re-executing. *)
+
+type mem_effect = Seglog.Record.mem_effect = {
   addr : int;
   data : Bytes.t;
 }
 
-type sys_record = {
+type sys_record = Seglog.Record.sys_record = {
   call : Sim_os.Syscall.call;
   in_data : Bytes.t option;
-      (** bytes the kernel read from main memory (write payloads, open
-          paths) — compared against the checker's buffer *)
   result : int;
   effects : mem_effect list;
-      (** bytes the kernel wrote into main memory (read/getrandom data) —
-          injected into the checker instead of re-executing *)
 }
 
-type event =
+type event = Seglog.Record.event =
   | Sys of sys_record
   | Nondet of {
       insn : Isa.Insn.t;

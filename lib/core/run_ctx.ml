@@ -68,6 +68,10 @@ type t = {
      engine tick and after every routed tracer event — short checks can
      start and retire entirely between two ticks. *)
   mutable runtime_fault_poll : unit -> unit;
+  (* The open --record-log output, attached by Runtime before the
+     engine runs; None leaves the recorder's persistence hook a no-op
+     (the byte-identical default path). *)
+  mutable seglog : Seglog_io.out option;
 }
 
 let unwired _ =
@@ -115,6 +119,7 @@ let create ?rng ?fleet eng cfg =
     abort_run = (fun () -> unwired ());
     recover_or_abort = (fun () -> unwired ());
     runtime_fault_poll = (fun () -> ());
+    seglog = None;
   }
 
 let plat t = E.platform t.eng
@@ -215,6 +220,18 @@ let charge_record t ?segment pid ~bytes =
   if ns > 0.0 then begin
     E.delay t.eng pid ~ns;
     phase_add t ~tracks:(charge_tracks t pid) ?segment "record_io"
+      (int_of_float ns)
+  end
+
+(* Serialization cost of persisting one segment file: same per-byte
+   model as syscall recording, but its own profile scope so BENCH and
+   the trace can attribute it. Only ever charged when --record-log is
+   active, so default runs are byte-identical. *)
+let charge_seglog_write t ?segment pid ~bytes =
+  let ns = float_of_int bytes *. (plat t).Platform.syscall_record_ns_per_byte in
+  if ns > 0.0 then begin
+    E.delay t.eng pid ~ns;
+    phase_add t ~tracks:(charge_tracks t pid) ?segment "seglog_write"
       (int_of_float ns)
   end
 

@@ -28,10 +28,25 @@ let max_sim_ns = 2_000_000_000 (* 2 simulated seconds: a generous hang bound *)
 
 let run_protected ?(seed = 42L) ?rng ?prng ?before_run ~platform ~config
     ~program () =
+  (match config.Config.record_log with
+  | Some _ when config.Config.mode = Config.Raft || not config.Config.compare_states
+    ->
+    invalid_arg "Runtime.run_protected: record_log requires Parallaft mode with state comparison on"
+  | Some _ | None -> ());
   let eng =
     E.create ~block_cache:config.Config.block_cache ~platform ~seed ()
   in
   let coord = Coordinator.create ?rng ?prng eng config ~program in
+  let seglog_out =
+    match config.Config.record_log with
+    | None -> None
+    | Some dir -> (
+      match Seglog_io.create ~dir ~cfg:config ~platform ~program ~seed with
+      | Ok out ->
+        Coordinator.attach_seglog coord out;
+        Some out
+      | Error msg -> failwith ("record-log: " ^ msg))
+  in
   (match before_run with Some f -> f eng coord | None -> ());
   E.run ~max_ns:max_sim_ns eng;
   let stats = Coordinator.stats coord in
@@ -48,6 +63,21 @@ let run_protected ?(seed = 42L) ?rng ?prng ?before_run ~platform ~config
   | Some _ | None -> ());
   if config.Config.cpu_stats then
     stats.Stats.block_cache <- Some (E.block_cache_totals eng);
+  (* Seal the persisted log: the manifest needs the final-state hash
+     (when main exited) and the id list of every segment written. *)
+  (match seglog_out with
+  | None -> ()
+  | Some out ->
+    Seglog_io.finalize out ~final_state_hash:(Stats.final_state_hash stats);
+    let ws = Seglog_io.stats out in
+    stats.Stats.seglog <-
+      Some
+        {
+          Stats.seglog_segments = ws.Seglog.Writer.segments;
+          seglog_bytes = ws.Seglog.Writer.bytes_written + Seglog_io.manifest_bytes out;
+          seglog_raw_page_bytes = ws.Seglog.Writer.raw_page_bytes;
+          seglog_stored_page_bytes = ws.Seglog.Writer.stored_page_bytes;
+        });
   (* Run-level fault classification fallback. Checker-side plans are
      classified precisely by the replayer as their segment retires;
      main-side and runtime plans can surface anywhere (any segment's

@@ -3,6 +3,13 @@ type fleet = {
   mutable stolen : int;
 }
 
+type seglog = {
+  seglog_segments : int;
+  seglog_bytes : int;  (* segment files + manifest *)
+  seglog_raw_page_bytes : int;
+  seglog_stored_page_bytes : int;
+}
+
 type t = {
   mutable checkpoint_count : int;
   mutable nr_slices : int;
@@ -37,6 +44,7 @@ type t = {
   mutable profile : (string * int) list;
   mutable block_cache : (int * int * int) option;
   mutable fleet : fleet option;
+  mutable seglog : seglog option;
 }
 
 let create () =
@@ -74,6 +82,7 @@ let create () =
     profile = [];
     block_cache = None;
     fleet = None;
+    seglog = None;
   }
 
 (* One digest over the main process's final architectural state
@@ -149,11 +158,29 @@ let to_assoc t =
       ])
   (* Fleet rows only exist for tenants scheduled by a [Core_pool], so
      single-tenant runs (and every pre-fleet golden) are unchanged. *)
+  @ (match t.fleet with
+    | None -> []
+    | Some fl ->
+      [
+        ("fleet.home_dispatches", string_of_int fl.home_dispatches);
+        ("fleet.stolen", string_of_int fl.stolen);
+      ])
+  (* Seglog rows only exist when --record-log persisted a log, the
+     same opt-in discipline as above. The compression ratio is raw
+     dirty-page payload over stored (post-compression) payload. *)
   @
-  match t.fleet with
+  match t.seglog with
   | None -> []
-  | Some fl ->
+  | Some sl ->
+    let ratio =
+      if sl.seglog_stored_page_bytes > 0 then
+        float_of_int sl.seglog_raw_page_bytes /. float_of_int sl.seglog_stored_page_bytes
+      else 1.0
+    in
     [
-      ("fleet.home_dispatches", string_of_int fl.home_dispatches);
-      ("fleet.stolen", string_of_int fl.stolen);
+      ("seglog.segments", string_of_int sl.seglog_segments);
+      ("seglog.bytes_written", string_of_int sl.seglog_bytes);
+      ("seglog.raw_page_bytes", string_of_int sl.seglog_raw_page_bytes);
+      ("seglog.stored_page_bytes", string_of_int sl.seglog_stored_page_bytes);
+      ("seglog.compression_ratio", Printf.sprintf "%.2f" ratio);
     ]

@@ -11,6 +11,13 @@ type fleet = {
           core's owner or drained directly onto a shared big core *)
 }
 
+type seglog = {
+  seglog_segments : int;  (** segment files persisted *)
+  seglog_bytes : int;  (** total bytes written (segment files + manifest) *)
+  seglog_raw_page_bytes : int;
+  seglog_stored_page_bytes : int;  (** post-compression payload bytes *)
+}
+
 type t = {
   mutable checkpoint_count : int;
       (** forks taken: checkers + end snapshots + mmap-split extras *)
@@ -77,6 +84,10 @@ type t = {
       (** per-tenant work-stealing counters, filled by [Fleet] runs only
           ([None] on the single-tenant path, keeping goldens
           byte-identical) *)
+  mutable seglog : seglog option;
+      (** persisted-log size/compression counters, filled by [Runtime]
+          only under [Config.record_log]; [None] keeps the stats dump
+          (and the goldens) unchanged, same discipline as [profile] *)
 }
 
 val create : unit -> t

@@ -85,6 +85,8 @@ let store_prepare t ~vpn =
 
 let read_bytes_at t ~vpn = (find t vpn ~write:false).frame.Frame.data
 
+let copy_page_at t ~vpn = Bytes.copy (read_bytes_at t ~vpn)
+
 let frame_view t ~vpn =
   let f = (find t vpn ~write:false).frame in
   (f.Frame.id, f.Frame.generation, f.Frame.data)

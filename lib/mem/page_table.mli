@@ -67,6 +67,12 @@ val read_bytes_at : t -> vpn:int -> Bytes.t
 
     @raise Page_fault on unmapped [vpn]. *)
 
+val copy_page_at : t -> vpn:int -> Bytes.t
+(** Detached copy of the page bytes — payload extraction for the
+    segment log (the live frame keeps mutating after the snapshot).
+
+    @raise Page_fault on unmapped [vpn]. *)
+
 val frame_view : t -> vpn:int -> int * int * Bytes.t
 (** [frame_view t ~vpn] is [(frame_id, generation, data)] for the frame
     backing [vpn] — everything the comparator needs in one walk: the id

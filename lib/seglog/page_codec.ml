@@ -1,0 +1,103 @@
+(* Per-page payload compression (DESIGN.md §17).
+
+   Dirty-page payloads dominate a segment log, and most dirty pages are
+   sparse (stack/heap pages with a few live words) or near-identical to
+   the same page in the parent frame (the previous segment that dirtied
+   the same vpn). Two byte-exact schemes cover both without external
+   deps:
+
+     tag 0  raw        page bytes verbatim
+     tag 1  zero-RLE   (zero-run, literal-run) pairs
+     tag 2  xor-parent xor against the parent payload, then zero-RLE
+
+   The writer encodes all applicable candidates and keeps the smallest;
+   the reader is told the tag and the uncompressed length and must
+   reproduce the page exactly (checksums pin it). *)
+
+(* A literal run ends when [zero_cut] consecutive zeros begin: shorter
+   zero gaps cost more to break out than to carry as literals (two
+   varint headers vs <= 7 literal zero bytes). *)
+let zero_cut = 8
+
+let rle_encode page =
+  let w = Codec.wbuf () in
+  let n = Bytes.length page in
+  let i = ref 0 in
+  while !i < n do
+    let z0 = !i in
+    while !i < n && Bytes.get page !i = '\000' do
+      incr i
+    done;
+    let zrun = !i - z0 in
+    let l0 = !i in
+    let j = ref !i and zeros = ref 0 and stop = ref false in
+    while (not !stop) && !j < n do
+      if Bytes.get page !j = '\000' then begin
+        incr zeros;
+        if !zeros >= zero_cut then stop := true
+      end
+      else zeros := 0;
+      incr j
+    done;
+    let lend = if !stop then !j - zero_cut else !j in
+    let litlen = lend - l0 in
+    Codec.uvarint w zrun;
+    Codec.uvarint w litlen;
+    Codec.raw w page ~pos:l0 ~len:litlen;
+    i := lend
+  done;
+  Codec.contents w
+
+let rle_decode ~raw_len payload =
+  let out = Bytes.make raw_len '\000' in
+  let r = Codec.rbuf payload in
+  let pos = ref 0 in
+  while Codec.remaining r > 0 do
+    let zrun = Codec.r_uvarint r in
+    let litlen = Codec.r_uvarint r in
+    if !pos + zrun + litlen > raw_len then
+      Codec.malformed "RLE runs overflow the page (%d+%d past %d/%d)" zrun litlen !pos
+        raw_len;
+    pos := !pos + zrun;
+    Codec.r_blit r ~len:litlen out ~dst_pos:!pos;
+    pos := !pos + litlen
+  done;
+  out
+
+let xor a b =
+  let n = Bytes.length a in
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get a i) lxor Char.code (Bytes.unsafe_get b i)))
+  done;
+  out
+
+let encode ~parent page =
+  let raw_len = Bytes.length page in
+  let rle = rle_encode page in
+  let tag, best = if Bytes.length rle < raw_len then (1, rle) else (0, Bytes.copy page) in
+  match parent with
+  | Some p when Bytes.length p = raw_len ->
+    let xr = rle_encode (xor page p) in
+    if Bytes.length xr < Bytes.length best then (2, xr) else (tag, best)
+  | _ -> (tag, best)
+
+let decode ~parent ~tag ~raw_len payload =
+  match tag with
+  | 0 ->
+    if Bytes.length payload <> raw_len then
+      Codec.malformed "raw page payload is %d bytes, page is %d" (Bytes.length payload)
+        raw_len;
+    Bytes.copy payload
+  | 1 -> rle_decode ~raw_len payload
+  | 2 -> (
+    match parent with
+    | None -> Codec.malformed "xor-delta page without a parent frame"
+    | Some p ->
+      if Bytes.length p <> raw_len then
+        Codec.malformed "xor-delta parent is %d bytes, page is %d" (Bytes.length p)
+          raw_len;
+      xor (rle_decode ~raw_len payload) p)
+  | t -> Codec.malformed "unknown page compression tag %d" t

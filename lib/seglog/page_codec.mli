@@ -1,0 +1,13 @@
+(** Per-page payload compression: raw (tag 0), zero-run RLE (tag 1), or
+    xor-vs-parent-frame delta + RLE (tag 2). See DESIGN.md §17. *)
+
+val encode : parent:Bytes.t option -> Bytes.t -> int * Bytes.t
+(** [encode ~parent page] returns [(tag, payload)] for the smallest
+    applicable scheme. [parent] is the raw payload previously written
+    for the same vpn (same length), if any. *)
+
+val decode : parent:Bytes.t option -> tag:int -> raw_len:int -> Bytes.t -> Bytes.t
+(** Inverse of {!encode}; returns the raw page bytes.
+
+    @raise Codec.Error on unknown tags, length mismatches, runs past
+    the page end, or a missing parent for an xor-delta payload. *)

@@ -1,0 +1,400 @@
+(* The parallaft-seglog v1 record types and their field codecs.
+
+   These are the canonical shapes of everything a checker needs
+   (DESIGN.md §17): the core runtime's Rr_log / Exec_point types are
+   re-exports of the types below, so the live replay path and the
+   on-disk format cannot drift apart. Field codecs raise Codec.Error
+   on any malformed input; framing, checksums and version checks live
+   in Writer/Reader. *)
+
+let format_version = 1
+
+(* Bumped whenever Isa.Insn encodings or Sim_os.Syscall numbers change
+   meaning: logs carry instruction words and syscall tags verbatim. *)
+let isa_version = 1
+
+let manifest_magic = "PSEGLOGM"
+let segment_magic = "PSEGLOGS"
+
+type exec_point = {
+  branches : int;
+  pc : int;
+}
+
+type mem_effect = {
+  addr : int;
+  data : Bytes.t;
+}
+
+type sys_record = {
+  call : Sim_os.Syscall.call;
+  in_data : Bytes.t option;
+  result : int;
+  effects : mem_effect list;
+}
+
+type event =
+  | Sys of sys_record
+  | Nondet of {
+      insn : Isa.Insn.t;
+      value : int;
+    }
+  | Ext_signal of {
+      at : exec_point;
+      signum : Sim_os.Sig_num.t;
+    }
+
+type segment = {
+  id : int;
+  preamble : sys_record list;
+  events : event list;
+  end_point : exec_point;
+  insn_delta : int;
+  end_regs : int array;
+  pages : (int * Bytes.t) array;
+}
+
+type fault_spec = {
+  kind : string;
+  fault_segment : int;
+  delay : int;
+  arg_a : int;
+  arg_b : int;
+  repeat : bool;
+}
+
+type run_config = {
+  mode_raft : bool;
+  slice_period : int;
+  timeout_scale : float;
+  compare_states : bool;
+  dirty_backend : string;
+  hasher : string;
+  seed : int64;
+  fault : fault_spec option;
+}
+
+type header = {
+  config_digest : int64;
+  platform : string;
+  page_size : int;
+  workload : string;
+}
+
+type program = {
+  pname : string;
+  entry : int;
+  initial_brk : int;
+  code : int array;
+  data : (int * Bytes.t) list;
+}
+
+type manifest = {
+  header : header;
+  program : program;
+  config : run_config;
+  segments : int list;
+  truncated_at : int option;
+  final_state_hash : int64 option;
+}
+
+(* ---------- config fingerprint ---------- *)
+
+let fault_spec_to_string = function
+  | None -> "none"
+  | Some f ->
+    Printf.sprintf "%s@%d+%d(%d,%d)%s" f.kind f.fault_segment f.delay f.arg_a f.arg_b
+      (if f.repeat then "*" else "")
+
+(* Everything that shapes the recorded byte stream or its
+   interpretation, hashed over a canonical rendering. A replayer built
+   from a different config would produce bogus divergences, so the
+   reader refuses mismatches up front (Fingerprint_mismatch). *)
+let config_digest ~platform ~page_size ~workload (c : run_config) =
+  let canon =
+    Printf.sprintf "parallaft-seglog:%d:%d|%s|%d|%s|%s|%d|%h|%b|%s|%s|%Ld|%s"
+      format_version isa_version platform page_size workload
+      (if c.mode_raft then "raft" else "parallaft")
+      c.slice_period c.timeout_scale c.compare_states c.dirty_backend c.hasher c.seed
+      (fault_spec_to_string c.fault)
+  in
+  Ftr_hash.Xxh64.hash (Bytes.unsafe_of_string canon)
+
+(* ---------- field codecs ---------- *)
+
+let put_call w (c : Sim_os.Syscall.call) =
+  let u8 = Codec.u8 w and v = Codec.varint w in
+  match c with
+  | Exit code ->
+    u8 0;
+    v code
+  | Write { fd; addr; len } ->
+    u8 1;
+    v fd;
+    v addr;
+    v len
+  | Read { fd; addr; len } ->
+    u8 2;
+    v fd;
+    v addr;
+    v len
+  | Open { path_addr; path_len; flags } ->
+    u8 3;
+    v path_addr;
+    v path_len;
+    v flags
+  | Close { fd } ->
+    u8 4;
+    v fd
+  | Brk { addr } ->
+    u8 5;
+    v addr
+  | Mmap { addr; len; prot; flags; fd; off } ->
+    u8 6;
+    v addr;
+    v len;
+    v prot;
+    v flags;
+    v fd;
+    v off
+  | Munmap { addr; len } ->
+    u8 7;
+    v addr;
+    v len
+  | Mprotect { addr; len; prot } ->
+    u8 8;
+    v addr;
+    v len;
+    v prot
+  | Getpid -> u8 9
+  | Gettime -> u8 10
+  | Sigaction { signum; handler_pc } ->
+    u8 11;
+    v signum;
+    v handler_pc
+  | Sigreturn -> u8 12
+  | Getrandom { addr; len } ->
+    u8 13;
+    v addr;
+    v len
+  | Patch_code { pc; word } ->
+    u8 14;
+    v pc;
+    v word
+  | Unknown n ->
+    u8 15;
+    v n
+
+let get_call r : Sim_os.Syscall.call =
+  let v () = Codec.r_varint r in
+  match Codec.r_u8 r with
+  | 0 -> Exit (v ())
+  | 1 ->
+    let fd = v () in
+    let addr = v () in
+    let len = v () in
+    Write { fd; addr; len }
+  | 2 ->
+    let fd = v () in
+    let addr = v () in
+    let len = v () in
+    Read { fd; addr; len }
+  | 3 ->
+    let path_addr = v () in
+    let path_len = v () in
+    let flags = v () in
+    Open { path_addr; path_len; flags }
+  | 4 -> Close { fd = v () }
+  | 5 -> Brk { addr = v () }
+  | 6 ->
+    let addr = v () in
+    let len = v () in
+    let prot = v () in
+    let flags = v () in
+    let fd = v () in
+    let off = v () in
+    Mmap { addr; len; prot; flags; fd; off }
+  | 7 ->
+    let addr = v () in
+    let len = v () in
+    Munmap { addr; len }
+  | 8 ->
+    let addr = v () in
+    let len = v () in
+    let prot = v () in
+    Mprotect { addr; len; prot }
+  | 9 -> Getpid
+  | 10 -> Gettime
+  | 11 ->
+    let signum = v () in
+    let handler_pc = v () in
+    Sigaction { signum; handler_pc }
+  | 12 -> Sigreturn
+  | 13 ->
+    let addr = v () in
+    let len = v () in
+    Getrandom { addr; len }
+  | 14 ->
+    let pc = v () in
+    let word = v () in
+    Patch_code { pc; word }
+  | 15 -> Unknown (v ())
+  | t -> Codec.malformed "unknown syscall tag %d" t
+
+let put_opt_bytes w = function
+  | None -> Codec.u8 w 0
+  | Some b ->
+    Codec.u8 w 1;
+    Codec.bytes_ w b
+
+let get_opt_bytes r =
+  match Codec.r_u8 r with
+  | 0 -> None
+  | 1 -> Some (Codec.r_bytes r)
+  | t -> Codec.malformed "bad option tag %d" t
+
+let put_sys w s =
+  put_call w s.call;
+  put_opt_bytes w s.in_data;
+  Codec.varint w s.result;
+  Codec.uvarint w (List.length s.effects);
+  List.iter
+    (fun e ->
+      Codec.varint w e.addr;
+      Codec.bytes_ w e.data)
+    s.effects
+
+let get_sys r =
+  let call = get_call r in
+  let in_data = get_opt_bytes r in
+  let result = Codec.r_varint r in
+  let n = Codec.r_uvarint r in
+  let effects =
+    List.init n (fun _ ->
+        let addr = Codec.r_varint r in
+        let data = Codec.r_bytes r in
+        { addr; data })
+  in
+  { call; in_data; result; effects }
+
+let put_point w p =
+  Codec.varint w p.branches;
+  Codec.varint w p.pc
+
+let get_point r =
+  let branches = Codec.r_varint r in
+  let pc = Codec.r_varint r in
+  { branches; pc }
+
+let put_event w = function
+  | Sys s ->
+    Codec.u8 w 0;
+    put_sys w s
+  | Nondet { insn; value } -> (
+    match Isa.Insn.encode insn with
+    | None ->
+      (* Only trapped nondet instructions reach a log and they all
+         encode; hitting this means the ISA grew an unencodable one and
+         isa_version needs a bump. *)
+      Codec.malformed "nondet instruction has no binary encoding"
+    | Some word ->
+      Codec.u8 w 1;
+      Codec.varint w word;
+      Codec.varint w value)
+  | Ext_signal { at; signum } ->
+    Codec.u8 w 2;
+    put_point w at;
+    Codec.varint w signum
+
+let get_event r =
+  match Codec.r_u8 r with
+  | 0 -> Sys (get_sys r)
+  | 1 -> (
+    let word = Codec.r_varint r in
+    let value = Codec.r_varint r in
+    match Isa.Insn.decode word with
+    | Some insn -> Nondet { insn; value }
+    | None -> Codec.malformed "undecodable nondet instruction word %#x" word)
+  | 2 ->
+    let at = get_point r in
+    let signum = Codec.r_varint r in
+    Ext_signal { at; signum }
+  | t -> Codec.malformed "unknown event tag %d" t
+
+let put_program w p =
+  Codec.str w p.pname;
+  Codec.varint w p.entry;
+  Codec.varint w p.initial_brk;
+  Codec.uvarint w (Array.length p.code);
+  Array.iter (Codec.varint w) p.code;
+  Codec.uvarint w (List.length p.data);
+  List.iter
+    (fun (base, bytes) ->
+      Codec.varint w base;
+      Codec.bytes_ w bytes)
+    p.data
+
+let get_program r =
+  let pname = Codec.r_str r in
+  let entry = Codec.r_varint r in
+  let initial_brk = Codec.r_varint r in
+  let ncode = Codec.r_uvarint r in
+  if ncode > Codec.remaining r then Codec.malformed "code section longer than the file";
+  let code = Array.init ncode (fun _ -> Codec.r_varint r) in
+  let ndata = Codec.r_uvarint r in
+  let data =
+    List.init ndata (fun _ ->
+        let base = Codec.r_varint r in
+        let bytes = Codec.r_bytes r in
+        (base, bytes))
+  in
+  { pname; entry; initial_brk; code; data }
+
+let put_config w c =
+  Codec.u8 w (if c.mode_raft then 1 else 0);
+  Codec.varint w c.slice_period;
+  Codec.i64 w (Int64.bits_of_float c.timeout_scale);
+  Codec.u8 w (if c.compare_states then 1 else 0);
+  Codec.str w c.dirty_backend;
+  Codec.str w c.hasher;
+  Codec.i64 w c.seed;
+  match c.fault with
+  | None -> Codec.u8 w 0
+  | Some f ->
+    Codec.u8 w 1;
+    Codec.str w f.kind;
+    Codec.varint w f.fault_segment;
+    Codec.varint w f.delay;
+    Codec.varint w f.arg_a;
+    Codec.varint w f.arg_b;
+    Codec.u8 w (if f.repeat then 1 else 0)
+
+let get_bool r =
+  match Codec.r_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | t -> Codec.malformed "bad bool tag %d" t
+
+let get_config r =
+  let mode_raft = get_bool r in
+  let slice_period = Codec.r_varint r in
+  let timeout_scale = Int64.float_of_bits (Codec.r_i64 r) in
+  let compare_states = get_bool r in
+  let dirty_backend = Codec.r_str r in
+  let hasher = Codec.r_str r in
+  let seed = Codec.r_i64 r in
+  let fault =
+    match Codec.r_u8 r with
+    | 0 -> None
+    | 1 ->
+      let kind = Codec.r_str r in
+      let fault_segment = Codec.r_varint r in
+      let delay = Codec.r_varint r in
+      let arg_a = Codec.r_varint r in
+      let arg_b = Codec.r_varint r in
+      let repeat = get_bool r in
+      Some { kind; fault_segment; delay; arg_a; arg_b; repeat }
+    | t -> Codec.malformed "bad option tag %d" t
+  in
+  { mode_raft; slice_period; timeout_scale; compare_states; dirty_backend; hasher; seed;
+    fault }

@@ -1,0 +1,130 @@
+(** The parallaft-seglog v1 record types (DESIGN.md §17).
+
+    Canonical shapes for everything a checker needs to replay and
+    verify a segment. The core runtime's [Exec_point.t] and [Rr_log]
+    event types are type-equal re-exports of the types here, so the
+    live in-memory replay path and the persisted format share one
+    definition and cannot drift apart.
+
+    All structures are plain immutable data; OCaml structural equality
+    ([=]) is the round-trip criterion used by the property tests. *)
+
+val format_version : int
+val isa_version : int
+val manifest_magic : string
+val segment_magic : string
+
+type exec_point = {
+  branches : int;  (** retired-branch count (segment-relative) *)
+  pc : int;
+}
+
+type mem_effect = {
+  addr : int;
+  data : Bytes.t;
+}
+
+type sys_record = {
+  call : Sim_os.Syscall.call;
+  in_data : Bytes.t option;
+  result : int;
+  effects : mem_effect list;
+}
+
+type event =
+  | Sys of sys_record
+  | Nondet of {
+      insn : Isa.Insn.t;
+      value : int;
+    }
+  | Ext_signal of {
+      at : exec_point;
+      signum : Sim_os.Sig_num.t;
+    }
+
+(** One fully recorded segment: everything the live checker consumes,
+    plus the end-of-segment register snapshot and raw dirty-page
+    payloads the comparison needs. [preamble] holds the boundary
+    syscalls (file-backed mmaps) that split segments and execute
+    between the previous segment's end and this one's first
+    instruction. *)
+type segment = {
+  id : int;
+  preamble : sys_record list;
+  events : event list;
+  end_point : exec_point;
+  insn_delta : int;
+  end_regs : int array;
+  pages : (int * Bytes.t) array;  (** (vpn, raw page bytes), vpn-sorted *)
+}
+
+type fault_spec = {
+  kind : string;  (** {!Fault.target_kind_to_string} *)
+  fault_segment : int;
+  delay : int;
+  arg_a : int;  (** register index / page index *)
+  arg_b : int;  (** bit *)
+  repeat : bool;
+}
+
+type run_config = {
+  mode_raft : bool;
+  slice_period : int;
+  timeout_scale : float;
+  compare_states : bool;
+  dirty_backend : string;
+  hasher : string;
+  seed : int64;
+  fault : fault_spec option;
+}
+
+type header = {
+  config_digest : int64;
+  platform : string;
+  page_size : int;
+  workload : string;
+}
+
+type program = {
+  pname : string;
+  entry : int;
+  initial_brk : int;
+  code : int array;  (** {!Isa.Insn.encode} words *)
+  data : (int * Bytes.t) list;
+}
+
+type manifest = {
+  header : header;
+  program : program;
+  config : run_config;
+  segments : int list;  (** segment ids in replay order *)
+  truncated_at : int option;
+      (** last replayable segment id if a rollback cut the linear
+          history short (recovery re-executes from a checkpoint, so
+          post-rollback segments are not a continuation) *)
+  final_state_hash : int64 option;
+      (** the live run's {!Stats.final_state_hash}, when main exited *)
+}
+
+val config_digest :
+  platform:string -> page_size:int -> workload:string -> run_config -> int64
+(** Fingerprint over everything that shapes the recorded byte stream:
+    format/ISA versions, platform identity, workload name and the
+    {!run_config} fields. Stored in every file header; readers refuse
+    mismatches ([Fingerprint_mismatch]) instead of producing bogus
+    divergences. *)
+
+(** Field codecs (framing/checksums live in {!Writer}/{!Reader}; the
+    in-memory [Rr_log] uses the event codec directly). Readers raise
+    {!Codec.Error} on malformed input. *)
+
+val put_sys : Codec.wbuf -> sys_record -> unit
+val get_sys : Codec.rbuf -> sys_record
+val put_event : Codec.wbuf -> event -> unit
+val get_event : Codec.rbuf -> event
+val put_point : Codec.wbuf -> exec_point -> unit
+val get_point : Codec.rbuf -> exec_point
+val put_program : Codec.wbuf -> program -> unit
+val get_program : Codec.rbuf -> program
+val put_config : Codec.wbuf -> run_config -> unit
+val get_config : Codec.rbuf -> run_config
