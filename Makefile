@@ -1,7 +1,8 @@
 # Convenience entry points; `make ci` is what the harness runs.
 
 .PHONY: all build test fmt-check smoke parallel-smoke compare-smoke \
-  fault-smoke fleet-smoke seglog-smoke bench-json bench-smoke bench-gate \
+  fault-smoke fleet-smoke backend-chaos-smoke seglog-smoke bench-json \
+  bench-smoke bench-gate \
   block-cache-smoke invariants golden-check ci clean
 
 all: build
@@ -91,7 +92,7 @@ bench-smoke: build
 # meant to catch order-of-magnitude interpreter regressions (e.g. the
 # block cache silently disabled), not single-digit drift. Only
 # regressions fail; improvements and added benches never do.
-BENCH_BASELINE := BENCH_v1_919fecbf4a0b.json
+BENCH_BASELINE := BENCH_v1_f43843dd0c28.json
 bench-gate: build
 	PARALLAFT_QUICK=1 PARALLAFT_QUIET=1 dune exec bench/main.exe -- \
 	  --against $(BENCH_BASELINE) --threshold 400
@@ -135,7 +136,18 @@ seglog-smoke: build
 fleet-smoke: build
 	PARALLAFT_INVARIANTS=1 dune exec bin/fleet_smoke.exe
 
-ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke fleet-smoke seglog-smoke bench-smoke bench-gate block-cache-smoke
+# The checker backends end to end (DESIGN.md §18), with the lease
+# supervisor's exactly-once ledger swept on every routed event: a
+# deferred-backend sanity run (identical observables to inline, every
+# segment verified through the batch queue) and the remote chaos
+# campaign at three fixed intensities. Asserts no silent data
+# corruption, exactly-once verification, at least one re-dispatch per
+# intensity, and zero leaked simulated pids. Exits nonzero on any
+# violation.
+backend-chaos-smoke: build
+	PARALLAFT_INVARIANTS=1 dune exec bin/backend_chaos_smoke.exe
+
+ci: build test golden-check invariants fmt-check smoke parallel-smoke compare-smoke fault-smoke fleet-smoke backend-chaos-smoke seglog-smoke bench-smoke bench-gate block-cache-smoke
 
 clean:
 	dune clean

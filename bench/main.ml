@@ -538,6 +538,72 @@ let fleet_rows () =
       ns_per_run = serial_ns };
   ]
 
+(* The deferred backend's launch-amortization claim, pinned the same
+   way: batch 1 pays a cold fork+warmup per segment, batch 8 drains the
+   queue in bursts where only the first launch of each batch is cold.
+   The generator refuses to emit an artifact in which batching has
+   stopped amortizing (total launch overhead at batch 8 must be below
+   batch 1 on the same run). Testing platform, deterministic program:
+   both rows are bit-reproducible. *)
+let deferred_batch_rows () =
+  let platform = Platform.testing in
+  let program =
+    Workloads.Codegen.generate ~name:"det" ~seed:21L
+      ~page_size:platform.Platform.page_size
+      {
+        Workloads.Codegen.pattern =
+          Workloads.Codegen.Chase { pages = 12; hot_pages = 4; cold_every = 2 };
+        alu_per_mem = 3;
+        store_every = 2;
+        outer_iters = 30;
+        inner_iters = 40;
+        io_every = 3;
+        gettime_every = 0;
+        rdtsc_every = 0;
+        mmap_churn = false;
+      }
+  in
+  let run ~batch =
+    let config =
+      {
+        (Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()) with
+        Parallaft.Config.backend =
+          Parallaft.Config.deferred_backend ~batch ~max_lag:12 ();
+      }
+    in
+    Parallaft.Runtime.run_protected ~platform ~config ~program ()
+  in
+  let launch_per_seg (r : Parallaft.Runtime.report) =
+    let st = r.Parallaft.Runtime.stats in
+    if st.Parallaft.Stats.segments_total < 16 then begin
+      Printf.eprintf
+        "bench-json: deferred fixture too small (%d segments, need >= 16)\n"
+        st.Parallaft.Stats.segments_total;
+      exit 1
+    end;
+    float_of_int st.Parallaft.Stats.backend.Parallaft.Stats.b_launch_ns
+    /. float_of_int (max 1 st.Parallaft.Stats.segments_total)
+  in
+  let b1 = launch_per_seg (run ~batch:1) in
+  let b8 = launch_per_seg (run ~batch:8) in
+  if b8 >= b1 then begin
+    Printf.eprintf
+      "bench-json: deferred batching stopped amortizing (batch 8 %.0f \
+       ns/segment launch overhead vs batch 1 %.0f)\n"
+      b8 b1;
+    exit 1
+  end;
+  Printf.printf "  %-34s %12.1f ns/segment (simulated)\n%!"
+    "checker:deferred_batch1" b1;
+  Printf.printf "  %-34s %12.1f ns/segment (simulated)\n%!"
+    "checker:deferred_batch8" b8;
+  [
+    { Experiments.Bench_report.name = "checker:deferred_batch1";
+      ns_per_run = b1 };
+    { Experiments.Bench_report.name = "checker:deferred_batch8";
+      ns_per_run = b8 };
+  ]
+
 let read_report_exn what path =
   match Report.read path with
   | Ok r -> r
@@ -555,6 +621,7 @@ let fresh_report () =
           est)
       rows
     @ fleet_rows ()
+    @ deferred_batch_rows ()
   in
   let report =
     { Experiments.Bench_report.meta = Report.metadata ();

@@ -1,0 +1,175 @@
+(* CI smoke for the checker backends (DESIGN.md §18), run under
+   PARALLAFT_INVARIANTS=1 (see `make backend-chaos-smoke`) so the lease
+   supervisor cross-checks its exactly-once ledger after every routed
+   event.
+
+   Legs:
+     - deferred sanity: --backend deferred under a tight max_lag budget
+       produces the same program observables as inline and verifies
+       every segment through the batch queue;
+     - chaos campaign: the remote backend at three fixed chaos
+       intensities (light / medium / heavy node crash+stall+late+
+       pre-launch rates). Pass criteria per intensity:
+         * run completes (no abort: the retry budget absorbs the chaos)
+         * program observables (detections, exit, output, final state
+           hash) identical to the fault-free inline reference — sdc=0
+         * every recorded segment verified exactly once
+         * at least one re-dispatch actually happened (the chaos bit)
+         * zero leaked simulated pids after recovery state release. *)
+
+module P = Parallaft
+
+let platform = Platform.testing
+
+let program =
+  Workloads.Codegen.generate ~name:"det" ~seed:21L
+    ~page_size:platform.Platform.page_size
+    {
+      Workloads.Codegen.pattern =
+        Workloads.Codegen.Chase { pages = 12; hot_pages = 4; cold_every = 2 };
+      alu_per_mem = 3;
+      store_every = 2;
+      outer_iters = 30;
+      inner_iters = 40;
+      io_every = 3;
+      gettime_every = 0;
+      rdtsc_every = 0;
+      mmap_churn = false;
+    }
+
+let base_cfg () = P.Config.parallaft ~platform ~slice_period:20_000 ()
+
+type sig_ = {
+  detections : (int * string) list;
+  exit_status : int option;
+  output : string;
+  final_hash : int64 option;
+}
+
+let signature (r : P.Runtime.report) =
+  {
+    detections =
+      List.map
+        (fun (seg, o) -> (seg, P.Detection.outcome_to_string o))
+        r.P.Runtime.detections;
+    exit_status = r.P.Runtime.exit_status;
+    output = r.P.Runtime.output;
+    final_hash = P.Stats.final_state_hash r.P.Runtime.stats;
+  }
+
+let run_probed config =
+  let captured = ref None in
+  let before_run eng coord = captured := Some (eng, coord) in
+  let r =
+    P.Runtime.run_protected ~platform ~config ~before_run ~program ()
+  in
+  match !captured with
+  | None -> failwith "backend-chaos-smoke: before_run did not fire"
+  | Some (eng, coord) -> (r, eng, coord)
+
+let leaked_pids eng coord =
+  P.Coordinator.release_recovery_state coord;
+  Sim_os.Engine.live_processes eng
+
+let failures = ref []
+
+let check name ok detail =
+  if not ok then
+    failures := Printf.sprintf "%s (%s)" name detail :: !failures
+
+let () =
+  let inline, _, _ = run_probed (base_cfg ()) in
+  let ref_sig = signature inline in
+  check "inline reference clean"
+    ((not inline.P.Runtime.aborted) && inline.P.Runtime.detections = [])
+    "the fault-free inline run must be clean";
+  (* Deferred sanity: small batches under a tight lag budget, so the
+     boundary-hold backpressure path actually engages. *)
+  let deferred_cfg =
+    {
+      (base_cfg ()) with
+      P.Config.backend = P.Config.deferred_backend ~batch:2 ~max_lag:4 ();
+    }
+  in
+  let d, deng, dcoord = run_probed deferred_cfg in
+  let db = d.P.Runtime.stats.P.Stats.backend in
+  let dtotal = d.P.Runtime.stats.P.Stats.segments_total in
+  check "deferred = inline observables"
+    (signature d = ref_sig)
+    "deferred run diverged from the inline reference";
+  check "deferred fully verified"
+    (db.P.Stats.b_verified = dtotal && db.P.Stats.b_batches >= 1)
+    (Printf.sprintf "verified=%d/%d batches=%d" db.P.Stats.b_verified dtotal
+       db.P.Stats.b_batches);
+  check "deferred leaks nothing"
+    (leaked_pids deng dcoord = 0)
+    "live simulated pids remain after the run";
+  Obs.Log.progress
+    "backend-chaos-smoke: deferred OK (%d segments, %d batches, max lag %d)"
+    dtotal db.P.Stats.b_batches db.P.Stats.b_max_lag;
+  (* Chaos campaign: three intensities, fixed seeds (the simulator is
+     deterministic, so these runs are reproducible bit-for-bit). *)
+  let intensities =
+    [
+      ("light", 10, 5, 5, 5, 0x51A07L);
+      ("medium", 25, 10, 10, 10, 0x51A08L);
+      ("heavy", 40, 15, 15, 15, 0x51A09L);
+    ]
+  in
+  List.iter
+    (fun (label, crash, stall, late, prelaunch, seed) ->
+      let chaos =
+        {
+          P.Config.chaos_seed = seed;
+          crash_pct = crash;
+          stall_pct = stall;
+          late_pct = late;
+          prelaunch_pct = prelaunch;
+          reboot_ns = 400_000;
+          late_ns = 150_000;
+        }
+      in
+      let config =
+        {
+          (base_cfg ()) with
+          P.Config.backend =
+            P.Config.remote_backend ~nodes:3 ~retries:6 ~chaos ();
+          watchdog_stall_ns = 2_000_000;
+        }
+      in
+      let r, eng, coord = run_probed config in
+      let b = r.P.Runtime.stats.P.Stats.backend in
+      let total = r.P.Runtime.stats.P.Stats.segments_total in
+      check
+        (Printf.sprintf "%s: completes" label)
+        (not r.P.Runtime.aborted)
+        "retry budget exhausted under chaos";
+      check
+        (Printf.sprintf "%s: sdc=0" label)
+        (signature r = ref_sig)
+        "program observables diverged from the inline reference";
+      check
+        (Printf.sprintf "%s: exactly-once" label)
+        (b.P.Stats.b_verified = total)
+        (Printf.sprintf "verified=%d/%d" b.P.Stats.b_verified total);
+      check
+        (Printf.sprintf "%s: chaos actually struck" label)
+        (b.P.Stats.b_redispatched >= 1)
+        "no re-dispatch happened; the campaign tested nothing";
+      check
+        (Printf.sprintf "%s: no leaked pids" label)
+        (leaked_pids eng coord = 0)
+        "live simulated pids remain after the run";
+      Obs.Log.progress
+        "backend-chaos-smoke: %s OK (%d/%d verified, %d redispatched, %d \
+         expired, %d stale, %d watchdog kills)"
+        label b.P.Stats.b_verified total b.P.Stats.b_redispatched
+        b.P.Stats.b_leases_expired b.P.Stats.b_stale_verdicts
+        r.P.Runtime.stats.P.Stats.watchdog_kills)
+    intensities;
+  match !failures with
+  | [] -> Obs.Log.progress "backend-chaos-smoke: OK"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "backend-chaos-smoke FAILED: %s\n" f)
+      (List.rev fs);
+    exit 1

@@ -123,9 +123,21 @@ let run_fleet ~tenants ~max_tenants ~arrival ~config ~platform ~program ~seed
   in
   if not dumped then 1 else if any_bad then 3 else 0
 
+let backend_of_string ~batch ~max_lag = function
+  | "inline" -> Ok Parallaft.Config.Backend_inline
+  | "deferred" -> Ok (Parallaft.Config.deferred_backend ?batch ?max_lag ())
+  | "remote" -> Ok (Parallaft.Config.remote_backend ())
+  | s ->
+    Error
+      (`Msg
+        (Printf.sprintf
+           "parallaft: unknown backend %S (expected inline, deferred or remote)"
+           s))
+
 let run platform_name mode_name period scale workload input asm_file seed
     show_output trace_file metrics_file fault fault_target recheck recovery
-    profile block_cache cpu_stats tenants max_tenants arrival_gap record_log =
+    profile block_cache cpu_stats tenants max_tenants arrival_gap record_log
+    backend_name batch max_lag =
   match platform_of_string platform_name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -195,7 +207,24 @@ let run platform_name mode_name period scale workload input asm_file seed
             Printf.eprintf "parallaft: %s\n" msg;
             false
         in
+        match backend_of_string ~batch ~max_lag backend_name with
+        | Error (`Msg m) ->
+          prerr_endline m;
+          1
+        | Ok backend ->
         match mode with
+        | (Mode_baseline | Mode_raft)
+          when backend <> Parallaft.Config.Backend_inline ->
+          prerr_endline
+            "parallaft: --backend deferred/remote requires --mode parallaft \
+             (only the segment pipeline decouples recording from checking)";
+          1
+        | Mode_parallaft
+          when backend <> Parallaft.Config.Backend_inline && tenants > 1 ->
+          prerr_endline
+            "parallaft: --backend deferred/remote is incompatible with \
+             --tenants > 1 (the fleet owns checker scheduling)";
+          1
         | (Mode_baseline | Mode_raft) when record_log <> None ->
           prerr_endline
             "parallaft: --record-log requires --mode parallaft (the segment \
@@ -266,7 +295,7 @@ let run platform_name mode_name period scale workload input asm_file seed
           in
           let config =
             { config with Parallaft.Config.obs = sink; fault_plan; recovery;
-              recheck_on_mismatch = recheck; cpu_stats; record_log;
+              recheck_on_mismatch = recheck; cpu_stats; record_log; backend;
               block_cache =
                 (match block_cache with
                 | Some n -> n
@@ -431,6 +460,30 @@ let record_log_arg =
                re-checked offline with $(b,parallaft-replay). Only valid \
                with --mode parallaft and a single tenant.")
 
+let backend_arg =
+  Arg.(value & opt string "inline" & info [ "backend" ] ~docv:"KIND"
+         ~doc:"Checker backend (DESIGN.md §18): $(b,inline) launches each \
+               checker the instant its segment finishes recording (the \
+               default, byte-identical to the classic pipeline); \
+               $(b,deferred) queues finished segments and checks --batch per \
+               wakeup under a --max-lag verification-lag budget; $(b,remote) \
+               dispatches checks to a pool of simulated checker nodes \
+               supervised by per-segment leases with heartbeat expiry and \
+               re-dispatch. Only valid with --mode parallaft and a single \
+               tenant.")
+
+let batch_arg =
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"N"
+         ~doc:"Deferred backend: launch up to $(docv) queued checks per \
+               wakeup (default 4). Only meaningful with --backend deferred.")
+
+let max_lag_arg =
+  Arg.(value & opt (some int) None & info [ "max-lag" ] ~docv:"N"
+         ~doc:"Deferred backend: at most $(docv) recorded-but-unverified \
+               segments may be outstanding before the recorder is \
+               backpressured (default 8). Only meaningful with --backend \
+               deferred.")
+
 let cmd =
   let term =
     Term.(
@@ -438,7 +491,8 @@ let cmd =
       $ input_arg $ asm_arg $ seed_arg $ show_output_arg $ trace_arg
       $ metrics_arg $ fault_arg $ fault_target_arg $ recheck_arg $ recovery_arg
       $ profile_arg $ block_cache_arg $ cpu_stats_arg $ tenants_arg
-      $ max_tenants_arg $ arrival_arg $ record_log_arg)
+      $ max_tenants_arg $ arrival_arg $ record_log_arg $ backend_arg
+      $ batch_arg $ max_lag_arg)
   in
   Cmd.v
     (Cmd.info "parallaft"

@@ -1,0 +1,81 @@
+(** Exactly-once verification accounting for the checker backends
+    (DESIGN.md §18).
+
+    One entry per recorded segment, driven
+    [Pending -> Leased -> Settled]. A lease names the node (or the
+    in-process checker) currently entitled to produce the segment's
+    verdict and the incarnation (redispatch count) it was granted at;
+    re-dispatch re-grants the lease at a strictly higher incarnation, so
+    a verdict arriving with an older incarnation is recognizably stale
+    and discarded instead of double-counting. Structural violations
+    (double settle, lease after settle, non-monotonic re-lease) raise
+    {!Violation} unconditionally. *)
+
+exception Violation of string
+
+type t
+
+val create : unit -> t
+
+val note_recorded : t -> int -> unit
+(** Register a freshly recorded segment as [Pending].
+    @raise Violation if the id was already registered. *)
+
+val lease :
+  t -> id:int -> node:int -> incarnation:int -> now_ns:int -> insns:int -> unit
+(** Grant (or re-grant) the verification lease. A re-grant must carry a
+    strictly higher incarnation and counts as a re-dispatch; a first
+    grant at incarnation > 0 (the checker was swapped in the pre-launch
+    window) counts as one too. [node] is [-1] for in-process backends. *)
+
+val heartbeat :
+  t ->
+  id:int ->
+  now_ns:int ->
+  insns:int ->
+  excused:bool ->
+  budget_ns:int ->
+  [ `Ok | `Expired ]
+(** Progress supervision (the unified watchdog path): progress or an
+    excuse renews the lease; silence past [budget_ns] expires it. A
+    segment with no current lease always answers [`Ok]. *)
+
+val note_expired : t -> id:int -> unit
+(** Count one lease expiry (the caller decided to kill/re-dispatch). *)
+
+val settle : t -> id:int -> incarnation:int -> [ `Ok | `Stale ]
+(** Retire the segment on a verdict from [incarnation]. [`Stale] means
+    the lease moved on (re-dispatch) — the verdict must be discarded.
+    An unknown id is registered-and-settled in one step (a RAFT
+    streaming checker can retire before its segment finishes recording).
+    @raise Violation on a second settle. *)
+
+val note_stale : t -> unit
+(** Count a stale verdict discarded before reaching {!settle} (e.g. a
+    parked late verdict whose incarnation lapsed while parked). *)
+
+val note_batch : t -> unit
+val observe_lag : t -> unit
+(** Sample the current verification lag into the high-water mark. *)
+
+val cancel_unsettled : t -> int
+(** Rollback/abort: drop every [Pending]/[Leased] entry (those segments
+    were torn down, not verified) and return how many were dropped. *)
+
+val current_incarnation : t -> id:int -> int option
+val node_of : t -> id:int -> int option
+
+val recorded : t -> int
+val dispatched : t -> int
+val redispatched : t -> int
+val leases_expired : t -> int
+val stale_verdicts : t -> int
+val batches : t -> int
+val max_lag : t -> int
+val settled : t -> int
+val unsettled : t -> int
+val all_settled : t -> bool
+
+val check_invariants : t -> unit
+(** Cross-check the counters against the entry table.
+    @raise Violation on disagreement. *)

@@ -11,6 +11,21 @@ type dirty_backend =
   | Map_count
   | Full_compare
 
+type chaos = {
+  chaos_seed : int64;
+  crash_pct : int;
+  stall_pct : int;
+  late_pct : int;
+  prelaunch_pct : int;
+  reboot_ns : int;
+  late_ns : int;
+}
+
+type backend =
+  | Backend_inline
+  | Backend_deferred of { batch : int; max_lag : int }
+  | Backend_remote of { nodes : int; retries : int; chaos : chaos option }
+
 type t = {
   mode : mode;
   slice_period : int;
@@ -35,10 +50,53 @@ type t = {
   block_cache : int;
   cpu_stats : bool;
   record_log : string option;
+  backend : backend;
   obs : Obs.Sink.t option;
 }
 
 let default_slice_period (_ : Platform.t) = 250_000
+
+let default_chaos =
+  {
+    chaos_seed = 0xC4A05L;
+    crash_pct = 10;
+    stall_pct = 5;
+    late_pct = 5;
+    prelaunch_pct = 5;
+    reboot_ns = 400_000;
+    late_ns = 150_000;
+  }
+
+let deferred_backend ?(batch = 4) ?(max_lag = 8) () =
+  if batch <= 0 then invalid_arg "Config.deferred_backend: batch must be > 0";
+  if max_lag <= 0 then
+    invalid_arg "Config.deferred_backend: max_lag must be > 0";
+  Backend_deferred { batch; max_lag }
+
+let remote_backend ?(nodes = 3) ?(retries = 3) ?chaos () =
+  if nodes <= 0 then invalid_arg "Config.remote_backend: nodes must be > 0";
+  Backend_remote { nodes; retries; chaos }
+
+let backend_eager_spares = function
+  | Backend_remote _ -> true
+  | Backend_inline | Backend_deferred _ -> false
+
+(* How many re-dispatches a segment may burn before a checker-side
+   failure becomes final. Remote nodes die for infrastructure reasons,
+   so the remote backend gets its own (typically larger) budget. *)
+let redispatch_budget t =
+  match t.backend with
+  | Backend_remote { retries; _ } -> max retries (max 1 t.watchdog_retries)
+  | Backend_inline | Backend_deferred _ -> max 1 t.watchdog_retries
+
+(* The recorder's boundary-hold limit. Deferred checking must also bound
+   *unverified* segments (queued ones hold snapshots too), so max_lag
+   backpressures the recorder through the same mechanism. *)
+let live_limit t =
+  match t.backend with
+  | Backend_deferred { max_lag; _ } ->
+    min t.max_live_segments (max 1 max_lag)
+  | Backend_inline | Backend_remote _ -> t.max_live_segments
 
 let invariants_from_env () =
   match Sys.getenv_opt "PARALLAFT_INVARIANTS" with
@@ -78,6 +136,7 @@ let parallaft ~platform ?slice_period () =
     block_cache = Machine.Cpu.default_block_cache ();
     cpu_stats = false;
     record_log = None;
+    backend = Backend_inline;
     obs = None;
   }
 
@@ -106,5 +165,6 @@ let raft ~platform () =
     block_cache = Machine.Cpu.default_block_cache ();
     cpu_stats = false;
     record_log = None;
+    backend = Backend_inline;
     obs = None;
   }

@@ -23,6 +23,35 @@ type dirty_backend =
   | Map_count  (** PAGEMAP_SCAN-style unique-mapping query (AArch64) *)
   | Full_compare  (** ablation: compare every mapped page *)
 
+type chaos = {
+  chaos_seed : int64;  (** seed for the backend's private fault RNG *)
+  crash_pct : int;  (** per-dispatch chance the node dies mid-check *)
+  stall_pct : int;  (** per-dispatch chance the node wedges mid-check *)
+  late_pct : int;  (** per-dispatch chance the verdict returns late *)
+  prelaunch_pct : int;
+      (** per-dispatch chance the node dies between dispatch and the
+          check actually launching (the pre-first-heartbeat window) *)
+  reboot_ns : int;  (** crashed/stalled nodes recover after this long *)
+  late_ns : int;  (** base delay for late verdicts *)
+}
+
+type backend =
+  | Backend_inline
+      (** launch each checker the instant its segment finishes recording
+          — the original (and byte-identical) PR-4 pipeline *)
+  | Backend_deferred of { batch : int; max_lag : int }
+      (** queue finished segments and launch [batch] checks per wakeup,
+          amortizing fork + cache-warmup cost; [max_lag] bounds how many
+          unverified segments may be outstanding (backpressures the
+          recorder through the boundary-hold mechanism) *)
+  | Backend_remote of { nodes : int; retries : int; chaos : chaos option }
+      (** dispatch each check to a pool of [nodes] simulated checker
+          nodes supervised by per-segment leases with heartbeat expiry;
+          a dead/stalled/late node's segment is re-dispatched (up to
+          [retries] times) to a healthy node, with exactly-once settling
+          enforced by the {!Backend.Supervisor}. [chaos] injects node
+          faults for the campaign in [exp_backends]. *)
+
 type t = {
   mode : mode;
   slice_period : int;
@@ -110,6 +139,11 @@ type t = {
           byte-identical to before the option existed. Requires
           Parallaft mode with state comparison on (the log's verdict is
           the comparison); see DESIGN.md §17. *)
+  backend : backend;
+      (** where and when checks run (DESIGN.md §18). [Backend_inline]
+          (the default) is byte-identical to the pre-backend pipeline.
+          Non-inline backends require Parallaft mode with state
+          comparison on. *)
   obs : Obs.Sink.t option;
       (** observability sink (event trace + metrics). [None] (the
           default) makes every emit site in the engine, coordinator and
@@ -125,3 +159,21 @@ val parallaft : platform:Platform.t -> ?slice_period:int -> unit -> t
 val raft : platform:Platform.t -> unit -> t
 
 val default_slice_period : Platform.t -> int
+
+val default_chaos : chaos
+val deferred_backend : ?batch:int -> ?max_lag:int -> unit -> backend
+val remote_backend : ?nodes:int -> ?retries:int -> ?chaos:chaos -> unit -> backend
+
+val backend_eager_spares : backend -> bool
+(** Remote dispatches fork a pristine spare eagerly so a re-dispatch
+    after node death never lacks a snapshot to launch from. *)
+
+val redispatch_budget : t -> int
+(** Re-dispatches a segment may burn before a checker-side failure
+    becomes final ([max retries (max 1 watchdog_retries)] for the remote
+    backend, [max 1 watchdog_retries] otherwise). *)
+
+val live_limit : t -> int
+(** The recorder's boundary-hold limit: [max_live_segments], further
+    clamped to the deferred backend's [max_lag] verification-lag
+    budget. *)

@@ -36,11 +36,14 @@ let handle_event (t : t) pid ev =
   | None -> ());
   (* An armed runtime fault strikes as soon as its conditions hold —
      event-driven as well as on the tick, since a short check can start
-     and retire entirely between two ticks. The watchdog then runs
-     before the invariant sweep: a checker killed out-of-band must be
-     re-dispatched or failed before the sweep would flag the dead pid
-     as a structure violation. *)
+     and retire entirely between two ticks. The backend poll (due
+     launches, chaos strikes, parked verdicts) runs before the watchdog
+     so a chaos kill is observed — and repaired via the spare — in the
+     same event; the watchdog then runs before the invariant sweep: a
+     checker killed out-of-band must be re-dispatched or failed before
+     the sweep would flag the dead pid as a structure violation. *)
   t.Run_ctx.runtime_fault_poll ();
+  t.Run_ctx.backend_poll ();
   Watchdog.poll t;
   Run_ctx.check_invariants t
 
@@ -56,7 +59,9 @@ let release_recovery_state = Run_ctx.release_recovery_state
 
 let create ?rng ?prng ?fleet eng cfg ~program =
   let t = Run_ctx.create ?rng ?fleet eng cfg in
-  t.Run_ctx.launch_checker <- Replayer.launch_checker t;
+  (* Wires launch_checker plus every backend seam (lease supervision,
+     verdict routing, flush, poll) for the configured backend. *)
+  Checker_backend.install t;
   t.Run_ctx.abort_run <- (fun () -> Recovery.abort_run t);
   t.Run_ctx.recover_or_abort <-
     (fun () ->
@@ -87,9 +92,14 @@ let create ?rng ?prng ?fleet eng cfg ~program =
   E.resume eng main;
   E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ ->
       Scheduler.pacer_tick t.Run_ctx.sched);
-  (* The watchdog also needs a time-based poll: a dead or stalled
-     checker generates no tracer events, so event-driven polling alone
-     would leave the run hanging until the engine's global bound. *)
+  (* The backend and the watchdog also need time-based polls: a queued
+     deferred batch after main exit, a pending remote launch, or a dead/
+     stalled checker generates no tracer events, so event-driven polling
+     alone would leave the run hanging until the engine's global bound.
+     The backend tick precedes the watchdog tick for the same reason as
+     in handle_event. *)
+  E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ ->
+      t.Run_ctx.backend_poll ());
   E.add_tick eng ~every_ns:cfg.Config.pacer_tick_ns (fun _ -> Watchdog.poll t);
   (* Runtime faults (kill/stall a checker mid-check) are armed at the
      engine level: the fault fires once a covered segment is checking

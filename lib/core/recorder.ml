@@ -177,7 +177,7 @@ let do_boundary t =
   end
 
 let boundary t =
-  if live_count t >= t.cfg.Config.max_live_segments then begin
+  if live_count t >= live_limit t then begin
     t.pending_boundary <- true;
     emit_ev t ~track:Obs.Trace.Run ~phase:Obs.Trace.Instant
       ~args:[ ("live_segments", Obs.Trace.Int (live_count t)) ]

@@ -70,7 +70,7 @@ let abort_run t =
     kill_spare t seg;
     Segment.tear_down seg
   | None -> ());
-  Hashtbl.reset t.watchdog;
+  t.backend_flush ();
   kill_if_alive t t.main;
   release_recovery_state t;
   (* Fleet mode: the dead checkers' cores must return to the shared
@@ -140,7 +140,9 @@ let recover t =
   | None -> ());
   Hashtbl.iter (fun _ snap -> kill_if_alive t snap) t.verified_snapshots;
   Hashtbl.reset t.verified_snapshots;
-  Hashtbl.reset t.watchdog;
+  (* The torn-down segments will never settle: the backend drops its
+     queued/parked work and cancels their supervisor entries. *)
+  t.backend_flush ();
   kill_if_alive t t.main;
   t.live <- [];
   t.cur <- None;
@@ -159,9 +161,17 @@ let recover t =
     t.verified_since_rollback <- false;
     (* Post-rollback segments re-execute from the checkpoint, so they
        no longer extend the persisted linear history: truncate the
-       on-disk log at the last recorded segment. *)
+       on-disk log at the last segment whose check actually ran (the
+       failing one). Segments recorded past it — queued behind a
+       deferred batch or remote dispatch — were never checked against
+       the discarded state and are dropped from the manifest. *)
     (match t.seglog with
-    | Some out -> Seglog_io.note_rollback out
+    | Some out ->
+      Seglog_io.note_rollback out
+        ~last_checked:
+          (match t.first_error with
+          | Some (id, _) -> id
+          | None -> t.verified_prefix)
     | None -> ());
     (* The rollback phase runs on the Run track (concurrent work, not
        part of the main-core wall partition: re-recording overlaps it)

@@ -48,11 +48,16 @@ let launch_checker t seg =
      runs — it IS the segment-start snapshot a re-dispatch needs.
      Streaming checkers have already executed, so there is nothing
      pristine to fork and RAFT segments fall through to the normal
-     failure path instead. *)
+     failure path instead. The remote backend forks spares eagerly even
+     without the re-check extension: its nodes die for infrastructure
+     reasons, and a re-dispatch must always have a snapshot to launch
+     from. *)
   if
-    t.cfg.Config.recheck_on_mismatch && (not was_streaming)
+    (t.cfg.Config.recheck_on_mismatch
+    || Config.backend_eager_spares t.cfg.Config.backend)
+    && (not was_streaming)
     && Segment.spare seg = None
-    && Segment.redispatches seg < max 1 t.cfg.Config.watchdog_retries
+    && Segment.redispatches seg < Config.redispatch_budget t.cfg
   then begin
     Segment.set_spare seg (Some (E.fork_process t.eng checker));
     t.stats.Stats.checkpoint_count <- t.stats.Stats.checkpoint_count + 1
@@ -65,6 +70,10 @@ let launch_checker t seg =
   in
   Segment.begin_checking seg ~replay ~pending_signals:remaining_signals
     ~launched_at_ns;
+  (* The backend's lease clock starts at the actual launch — a checker
+     that dies before this point is handled by the pre-launch
+     re-dispatch path, not a heartbeat expiry. *)
+  t.backend_note_launched seg;
   t.stats.Stats.segment_insn_deltas <-
     r.Segment.insn_delta :: t.stats.Stats.segment_insn_deltas;
   observe t "segment.insns" (float_of_int r.Segment.insn_delta);
@@ -132,7 +141,6 @@ let redispatch_check t seg ~because outcome =
   Scheduler.finished t.sched old;
   phase_leave t ~track:(Obs.Trace.Proc old) "replay";
   Hashtbl.remove t.roles old;
-  Hashtbl.remove t.watchdog (Segment.id seg);
   t.stats.Stats.rechecks <- t.stats.Stats.rechecks + 1;
   (* The first failure in the chain is what a passing re-check
      resolves; a watchdog retry of an already re-checked segment keeps
@@ -155,13 +163,23 @@ let redispatch_check t seg ~because outcome =
   launch_checker t seg
 
 (* May this failure be retried on a fresh checker before it counts as a
-   detection? Bounded by the watchdog retry budget (>= 1 so the plain
+   detection? Bounded by the re-dispatch budget (>= 1 so the plain
    re-check always gets its one shot); needs the spare the re-check
    machinery forks at launch. *)
 let can_redispatch t seg =
   t.cfg.Config.recheck_on_mismatch
   && Segment.spare seg <> None
-  && Segment.redispatches seg < max 1 t.cfg.Config.watchdog_retries
+  && Segment.redispatches seg < Config.redispatch_budget t.cfg
+
+(* Same question for an infrastructure failure (the checker died or
+   stalled, it did not produce a verdict): the remote backend retries
+   those on its spares even without the re-check extension — a node
+   death says nothing about the program. *)
+let can_redispatch_infra t seg =
+  (t.cfg.Config.recheck_on_mismatch
+  || Config.backend_eager_spares t.cfg.Config.backend)
+  && Segment.spare seg <> None
+  && Segment.redispatches seg < Config.redispatch_budget t.cfg
 
 let really_finish_checker t seg outcome_opt =
   let checker = Segment.checker seg in
@@ -257,7 +275,9 @@ let really_finish_checker t seg outcome_opt =
     kill_if_alive t sp;
     Segment.set_spare seg None
   | None -> ());
-  Hashtbl.remove t.watchdog (Segment.id seg);
+  (* Exactly-once settling: the supervisor retires the segment's lease
+     (and would raise on a double settle). *)
+  t.backend_settle seg;
   let failed = outcome_opt <> None in
   (if t.cfg.Config.recovery && not failed then
      Recovery.note_verified t ~id:(Segment.id seg) ~snapshot
@@ -287,22 +307,37 @@ let really_finish_checker t seg outcome_opt =
        purpose — free it or the engine never reaches zero live
        processes. *)
     release_recovery_state t
-  else if t.pending_boundary && live_count t < t.cfg.Config.max_live_segments
-  then begin
+  else if t.pending_boundary && live_count t < live_limit t then begin
     t.pending_boundary <- false;
     Scheduler.set_main_held t.sched false;
     phase_leave t ~track:(main_track t) "main_held";
     Recorder.do_boundary t
   end
 
-(* Every checker-side failure funnels through here: if the re-check
-   machinery can still retry it on a fresh checker, it is not yet a
-   detection. *)
-let finish_checker t seg outcome_opt =
+(* Act on a verdict: if the re-check machinery can still retry a failure
+   on a fresh checker, it is not yet a detection. The backend's verdict
+   router has already had its chance to park or discard. *)
+let deliver_verdict t seg outcome_opt =
   match outcome_opt with
   | Some o when can_redispatch t seg ->
     redispatch_check t seg ~because:"checker-side failure" o
   | _ -> really_finish_checker t seg outcome_opt
+
+(* Every verdict funnels through here: the backend may park it (a
+   remote node returning late) or discard it (stale incarnation), in
+   which case the replayer must not act yet — the backend's poll will
+   call {!deliver_verdict} when (if) the verdict becomes due. *)
+let finish_checker t seg outcome_opt =
+  if not (t.backend_route_verdict seg outcome_opt) then
+    deliver_verdict t seg outcome_opt
+
+(* Infrastructure failures (the checker died or stalled without
+   producing a verdict) never route through the backend's verdict path:
+   there is nothing to park. *)
+let finish_checker_infra t seg outcome =
+  if can_redispatch_infra t seg then
+    redispatch_check t seg ~because:"checker-side failure" outcome
+  else really_finish_checker t seg (Some outcome)
 
 let reached_end t seg =
   let c = Segment.checking seg in

@@ -24,11 +24,23 @@ val launch_checker : Run_ctx.t -> Segment.t -> unit
     spare a later re-dispatch would launch from. *)
 
 val finish_checker : Run_ctx.t -> Segment.t -> Detection.outcome option -> unit
-(** Retire a check with its outcome ([None] = verified). A failure is
-    re-dispatched onto the spare when the re-check machinery still has
-    budget; otherwise it is recorded (possibly reclassified
-    {!Detection.Hard_fault} right after a rollback) and answered with
-    rollback or abort. Exposed for the watchdog, which must fail or
-    retry checks the event loop will never hear from again. *)
+(** Retire a check with its outcome ([None] = verified). The configured
+    backend's verdict router runs first and may park the verdict (a
+    remote node returning late) or discard it (stale incarnation);
+    otherwise a failure is re-dispatched onto the spare when the
+    re-check machinery still has budget, and a final outcome is
+    recorded (possibly reclassified {!Detection.Hard_fault} right after
+    a rollback) and answered with rollback or abort. *)
+
+val deliver_verdict : Run_ctx.t -> Segment.t -> Detection.outcome option -> unit
+(** {!finish_checker} minus the backend routing: act on the verdict
+    now. Called by the backend when a parked verdict comes due. *)
+
+val finish_checker_infra : Run_ctx.t -> Segment.t -> Detection.outcome -> unit
+(** Retire a check after an infrastructure failure (the checker died or
+    stalled without producing a verdict — watchdog/lease expiry): never
+    routed through the backend's verdict path, and re-dispatched on the
+    spare whenever the re-check extension {e or} the remote backend's
+    retry budget allows. *)
 
 val handle_checker_event : Run_ctx.t -> Segment.t -> Sim_os.Engine.event -> unit

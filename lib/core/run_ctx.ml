@@ -46,9 +46,6 @@ type t = {
      rollback anchor, means re-execution did not clear the fault. *)
   mutable rollback_anchor : int option;
   mutable verified_since_rollback : bool;
-  (* Watchdog progress ledger: segment id -> (retired instructions at
-     the last observed progress, sim time of that observation). *)
-  watchdog : (int, int * int) Hashtbl.t;
   mutable all_segments : Segment.t list;
       (* newest first; retained only under cfg.check_invariants, for
          {!Coordinator.segment_histories} *)
@@ -72,6 +69,28 @@ type t = {
      engine runs; None leaves the recorder's persistence hook a no-op
      (the byte-identical default path). *)
   mutable seglog : Seglog_io.out option;
+  (* Checker-backend seams (DESIGN.md §18), wired by
+     Checker_backend.install. They carry lease/heartbeat supervision and
+     verdict routing without Replayer/Watchdog/Recovery depending on the
+     backend module. The defaults are the inline-safe behaviours, so a
+     context that never installs a backend (unit tests driving stages
+     directly) still works. *)
+  mutable backend_note_launched : Segment.t -> unit;
+  (* Progress supervision: true means the lease expired (kill/re-dispatch
+     the checker). Replaces the old watchdog progress ledger. *)
+  mutable backend_heartbeat :
+    Segment.t -> now_ns:int -> insns:int -> excused:bool -> bool;
+  mutable backend_expired : Segment.t -> unit;
+  (* A checker died in the dispatch-to-launch window; true means the
+     backend swapped in a replacement and the segment lives on. *)
+  mutable backend_prelaunch_redispatch : Segment.t -> bool;
+  (* A verdict arrived; true means the backend parked or discarded it
+     (late/stale under chaos) and the replayer must not act on it yet. *)
+  mutable backend_route_verdict : Segment.t -> Detection.outcome option -> bool;
+  mutable backend_settle : Segment.t -> unit;
+  mutable backend_flush : unit -> unit;  (* rollback/abort: drop unsettled *)
+  mutable backend_poll : unit -> unit;
+  mutable backend_check : unit -> unit;  (* invariant sweep hook *)
 }
 
 let unwired _ =
@@ -113,13 +132,21 @@ let create ?rng ?fleet eng cfg =
     verified_prefix = -1;
     rollback_anchor = None;
     verified_since_rollback = false;
-    watchdog = Hashtbl.create 8;
     all_segments = [];
     launch_checker = unwired;
     abort_run = (fun () -> unwired ());
     recover_or_abort = (fun () -> unwired ());
     runtime_fault_poll = (fun () -> ());
     seglog = None;
+    backend_note_launched = (fun _ -> ());
+    backend_heartbeat = (fun _ ~now_ns:_ ~insns:_ ~excused:_ -> false);
+    backend_expired = (fun _ -> ());
+    backend_prelaunch_redispatch = (fun _ -> false);
+    backend_route_verdict = (fun _ _ -> false);
+    backend_settle = (fun _ -> ());
+    backend_flush = (fun () -> ());
+    backend_poll = (fun () -> ());
+    backend_check = (fun () -> ());
   }
 
 let plat t = E.platform t.eng
@@ -258,6 +285,7 @@ let kill_if_alive t pid =
   | E.Runnable | E.Stopped -> E.kill t.eng pid
 
 let live_count t = List.length t.live
+let live_limit t = Config.live_limit t.cfg
 
 (* ------------------------------------------------------------------ *)
 (* Fault-plan plumbing (lib/fault): which segments a plan covers, and
@@ -319,11 +347,18 @@ let check_invariants t =
       violation "current segment %d is %s, not recording" (Segment.id s)
         (Segment.phase_to_string (Segment.phase s))
     | Some _ | None -> ());
+    (* Non-inline backends hold recorded segments in Awaiting_launch
+       (queued in a batch, or in a remote dispatch window) — only the
+       inline backend promises an immediate launch. *)
+    let launch_deferred = t.cfg.Config.backend <> Config.Backend_inline in
     List.iter
       (fun s ->
-        if Segment.phase s <> Segment.Checking_p then
+        match Segment.phase s with
+        | Segment.Checking_p -> ()
+        | Segment.Awaiting_launch_p when launch_deferred -> ()
+        | ph ->
           violation "live segment %d is %s, not checking" (Segment.id s)
-            (Segment.phase_to_string (Segment.phase s)))
+            (Segment.phase_to_string ph))
       t.live;
     List.iter Segment.check_invariants tracked;
     List.iter
@@ -367,7 +402,10 @@ let check_invariants t =
       (Scheduler.queued_pids t.sched @ Scheduler.running_pids t.sched);
     (* Fleet scope: the shared pool's cross-tenant partitions must hold
        after every one of any tenant's events. *)
-    match t.fleet with
+    (match t.fleet with
     | Some (pool, _) -> Core_pool.check_invariants pool
-    | None -> ()
+    | None -> ());
+    (* Backend scope: the supervisor's exactly-once ledger must agree
+       with its own counters after every event too. *)
+    t.backend_check ()
   end

@@ -33,6 +33,14 @@ let run_protected ?(seed = 42L) ?rng ?prng ?before_run ~platform ~config
     ->
     invalid_arg "Runtime.run_protected: record_log requires Parallaft mode with state comparison on"
   | Some _ | None -> ());
+  (match config.Config.backend with
+  | Config.Backend_deferred _ | Config.Backend_remote _
+    when config.Config.mode = Config.Raft || not config.Config.compare_states ->
+    invalid_arg
+      "Runtime.run_protected: non-inline backends require Parallaft mode with state comparison on"
+  | Config.Backend_inline | Config.Backend_deferred _ | Config.Backend_remote _
+    ->
+    ());
   let eng =
     E.create ~block_cache:config.Config.block_cache ~platform ~seed ()
   in

@@ -145,7 +145,22 @@ let migrate_oldest_to_big t =
   match t.free_big with
   | [] -> None
   | big :: rest_big -> (
-    match List.find_opt (fun e -> is_little t e.core) t.running with
+    match
+      List.find_opt
+        (fun e ->
+          is_little t e.core
+          (* A checker can die on its core (runtime kill fault, chaos
+             crash) and still sit in [running] until the watchdog's
+             response retires it — and that response itself dispatches,
+             so two deaths in one poll would otherwise migrate a
+             corpse. The dead entry keeps its core until then; it is
+             never a migration victim. *)
+          &&
+          match Sim_os.Engine.state t.eng e.pid with
+          | Sim_os.Engine.Exited _ -> false
+          | Sim_os.Engine.Runnable | Sim_os.Engine.Stopped -> true)
+        t.running
+    with
     | None -> None
     | Some e ->
       t.free_big <- rest_big;

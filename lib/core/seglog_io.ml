@@ -160,12 +160,20 @@ let segment_file_name id = Printf.sprintf "seg-%06d.plog" id
 
 (* After a rollback the run re-executes from a checkpoint, so later
    segments no longer extend the recorded linear history: latch the
-   truncation point and stop persisting. The prefix — including the
-   segment whose check failed — is exactly what offline replay can
-   verify. *)
-let note_rollback o =
-  if o.truncated_at = None then
+   truncation point, drop already-persisted segments past it, and stop
+   persisting. The prefix — up to and including the last segment whose
+   check actually ran ([last_checked], the failing segment on a
+   detection) — is exactly what offline replay can verify. Segments
+   recorded beyond it (queued behind a deferred batch or a remote
+   dispatch when the rollback landed) were never checked against the
+   state the rollback discarded, so they must not stay in the
+   manifest. Their files may remain on disk; offline replay reads only
+   manifest-listed files. *)
+let note_rollback o ~last_checked =
+  if o.truncated_at = None then begin
+    o.seg_ids <- List.filter (fun id -> id <= last_checked) o.seg_ids;
     o.truncated_at <- Some (match o.seg_ids with [] -> -1 | id :: _ -> id)
+  end
 
 let write_segment o ~id ~events ~end_point ~insn_delta ~end_regs ~pages =
   match o.truncated_at with

@@ -51,10 +51,14 @@ val write_segment :
 (** Persist one recorded segment ([seg-NNNNNN.plog]); returns the bytes
     written (0 after a rollback truncated the log). *)
 
-val note_rollback : out -> unit
+val note_rollback : out -> last_checked:int -> unit
 (** A recovery rollback happened: the linear recorded history ends at
-    the last persisted segment. Latches the manifest's [truncated_at]
-    and makes further {!write_segment} calls no-ops. *)
+    the last segment whose check actually ran ([last_checked] — the
+    failing segment on a detection). Persisted segments past it (queued
+    behind a deferred batch or remote dispatch) are dropped from the
+    manifest: they were never verified against the discarded state.
+    Latches the manifest's [truncated_at] and makes further
+    {!write_segment} calls no-ops. *)
 
 val finalize : out -> final_state_hash:int64 option -> unit
 (** Write [manifest.plog]. *)

@@ -214,6 +214,21 @@ let redispatch t ~checker =
     violation "segment %d: redispatch in state %s" t.id
       (phase_to_string (phase t))
 
+(* A checker that died between dispatch and launch (the pre-first-
+   heartbeat window, remote backend) is replaced in place: the spare is
+   promoted without leaving Awaiting_launch — there is no checking state
+   to unwind, the recorded payload is untouched, and the re-launch goes
+   through the normal launch path. Counts as a re-dispatch. *)
+let replace_checker_prelaunch t ~checker =
+  match t.state with
+  | Awaiting_launch _ ->
+    t.checker <- checker;
+    t.spare <- None;
+    t.redispatches <- t.redispatches + 1
+  | Recording _ | Checking _ | Done ->
+    violation "segment %d: pre-launch checker replacement in state %s" t.id
+      (phase_to_string (phase t))
+
 let set_recheck_of t outcome = t.recheck_of <- outcome
 
 let complete t =

@@ -152,6 +152,12 @@ val redispatch : t -> checker:Sim_os.Engine.pid -> unit
     the roles table and relaunches. A re-dispatched check never
     streams. *)
 
+val replace_checker_prelaunch : t -> checker:Sim_os.Engine.pid -> unit
+(** Swap in a replacement for a checker that died between dispatch and
+    launch (remote backend): stays in [Awaiting_launch], clears the
+    spare, bumps {!redispatches}. The caller re-keys the roles table.
+    Raises outside [Awaiting_launch]. *)
+
 val tear_down : t -> unit
 (** Mark the segment discarded (rollback/abort); not a transition. *)
 

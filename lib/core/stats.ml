@@ -10,6 +10,17 @@ type seglog = {
   seglog_stored_page_bytes : int;
 }
 
+type backend_acct = {
+  mutable b_dispatched : int;
+  mutable b_redispatched : int;
+  mutable b_leases_expired : int;
+  mutable b_stale_verdicts : int;
+  mutable b_batches : int;
+  mutable b_max_lag : int;
+  mutable b_verified : int;
+  mutable b_launch_ns : int;
+}
+
 type t = {
   mutable checkpoint_count : int;
   mutable nr_slices : int;
@@ -45,6 +56,7 @@ type t = {
   mutable block_cache : (int * int * int) option;
   mutable fleet : fleet option;
   mutable seglog : seglog option;
+  backend : backend_acct;
 }
 
 let create () =
@@ -83,6 +95,17 @@ let create () =
     block_cache = None;
     fleet = None;
     seglog = None;
+    backend =
+      {
+        b_dispatched = 0;
+        b_redispatched = 0;
+        b_leases_expired = 0;
+        b_stale_verdicts = 0;
+        b_batches = 0;
+        b_max_lag = 0;
+        b_verified = 0;
+        b_launch_ns = 0;
+      };
   }
 
 (* One digest over the main process's final architectural state
@@ -136,6 +159,14 @@ let to_assoc t =
     ("recheck.dispatched", string_of_int t.rechecks);
     ("recheck.transient_faults", string_of_int t.transient_faults);
     ("watchdog.kills", string_of_int t.watchdog_kills);
+    ("backend.dispatched", string_of_int t.backend.b_dispatched);
+    ("backend.redispatched", string_of_int t.backend.b_redispatched);
+    ("backend.leases_expired", string_of_int t.backend.b_leases_expired);
+    ("backend.stale_verdicts", string_of_int t.backend.b_stale_verdicts);
+    ("backend.batches", string_of_int t.backend.b_batches);
+    ("backend.max_lag_observed", string_of_int t.backend.b_max_lag);
+    ("backend.verified", string_of_int t.backend.b_verified);
+    ("backend.launch_overhead_ns", string_of_int t.backend.b_launch_ns);
     ( "final.state_hash",
       match final_state_hash t with
       | None -> "none"

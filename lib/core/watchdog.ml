@@ -1,9 +1,18 @@
-(* Checker watchdog (DESIGN.md §13): engine-level progress supervision
-   of checking checkers, distinct from the instruction-budget timeout —
-   that budget only fires while the checker is *executing*, so a
-   checker that dies (runtime kill fault) or stops making progress
-   while holding a core (stall fault, livelock) would otherwise hang
-   the run until the engine's global hang bound.
+(* Checker watchdog (DESIGN.md §13, §18): engine-level progress
+   supervision of checking checkers, distinct from the instruction-
+   budget timeout — that budget only fires while the checker is
+   *executing*, so a checker that dies (runtime kill fault, remote node
+   crash) or stops making progress while holding a core (stall fault,
+   livelock, wedged node) would otherwise hang the run until the
+   engine's global hang bound.
+
+   Stall detection is one path for every backend: the watchdog observes
+   (progress, excuse, time) and asks the backend's lease supervisor
+   whether the segment's lease expired; the supervisor owns the
+   progress ledger and the heartbeat budget. The lease clock starts at
+   dispatch, which also closes the pre-launch death window: a checker
+   dying between dispatch and launch is caught by the phase poll below
+   and (for backends with spares) re-dispatched instead of hanging.
 
    Polled from Coordinator.handle_event after every routed event —
    before the invariant sweep, so a dead checker is re-dispatched or
@@ -29,15 +38,15 @@ let note_kill t seg ~reason =
 
 let respond t seg ~reason =
   note_kill t seg ~reason;
-  (* The funnel re-dispatches onto the spare while the retry budget
-     lasts, and records a detection (rollback or abort) once it runs
-     out. finish_checker tolerates an already-exited checker. *)
-  Replayer.finish_checker t seg (Some (Detection.Exception_detected reason))
+  t.backend_expired seg;
+  (* The infra funnel re-dispatches onto the spare while the retry
+     budget lasts, and records a detection (rollback or abort) once it
+     runs out. It tolerates an already-exited checker. *)
+  Replayer.finish_checker_infra t seg (Detection.Exception_detected reason)
 
-(* A checker that dies before its check even launches (still recording,
-   or queued awaiting launch) has no spare to retry on — spares are
-   forked at launch — so the segment can never be verified. Straight to
-   the recover-or-abort response. *)
+(* A checker that dies before its check even launches and cannot be
+   replaced has no way to verify its segment. Straight to the
+   recover-or-abort response. *)
 let fail_unlaunched t seg ~reason =
   note_kill t seg ~reason;
   Replayer.record_error t seg (Detection.Exception_detected reason);
@@ -53,26 +62,29 @@ let poll_segment t seg =
   | E.Exited _ -> respond t seg ~reason:"checker died (watchdog)"
   | E.Runnable | E.Stopped ->
     if t.cfg.Config.watchdog_stall_ns > 0 then begin
-      let id = Segment.id seg in
       let now = E.now_ns t.eng in
       let insns = Machine.Cpu.instructions (E.cpu t.eng checker) in
       let excused =
         Segment.waiting seg
         || List.mem checker (Scheduler.queued_pids t.sched)
       in
-      match Hashtbl.find_opt t.watchdog id with
-      | Some (last_insns, _) when insns > last_insns || excused ->
-        Hashtbl.replace t.watchdog id (insns, now)
-      | Some (_, since) when now - since > t.cfg.Config.watchdog_stall_ns ->
+      if t.backend_heartbeat seg ~now_ns:now ~insns ~excused then
         respond t seg ~reason:"checker stalled (watchdog)"
-      | Some _ -> ()
-      | None -> Hashtbl.replace t.watchdog id (insns, now)
     end
 
 let poll_one t seg =
   match Segment.phase seg with
   | Segment.Checking_p -> poll_segment t seg
-  | Segment.Recording_p | Segment.Awaiting_launch_p -> (
+  | Segment.Awaiting_launch_p -> (
+    match E.state t.eng (Segment.checker seg) with
+    | E.Exited _ ->
+      (* The dispatch-to-launch death window: a backend holding a spare
+         (remote) swaps in a replacement and the segment lives on; only
+         when it cannot does the segment fail. *)
+      if not (t.backend_prelaunch_redispatch seg) then
+        fail_unlaunched t seg ~reason:"checker died before launch (watchdog)"
+    | E.Runnable | E.Stopped -> ())
+  | Segment.Recording_p -> (
     match E.state t.eng (Segment.checker seg) with
     | E.Exited _ ->
       fail_unlaunched t seg ~reason:"checker died before launch (watchdog)"

@@ -1,0 +1,219 @@
+(* Checker-backend evaluation (DESIGN.md §18), two questions:
+
+   1. Staleness vs recovery cost. The deferred backend's max_lag budget
+      bounds how many recorded-but-unverified segments may be
+      outstanding — and therefore how stale the newest *verified*
+      checkpoint can be when an error surfaces. A rollback lands on
+      that checkpoint, so a larger budget buys launch amortization at
+      the price of re-executing more segments per recovery. The table
+      injects the same main-memory fault under each budget and reports
+      the marginal wall-clock and re-executed-segment cost against the
+      fault-free run at the same budget.
+
+   2. The chaos campaign. The remote backend at three fixed
+      crash/stall/late/pre-launch intensities, each asserted for
+      exactly-once verification, zero silent corruption against the
+      fault-free inline reference, at least one actual re-dispatch, and
+      zero leaked simulated pids. Failures raise — the campaign is a
+      correctness gate that happens to print a table, not a benchmark.
+
+   Both legs run the deterministic chase program on the testing
+   platform: the simulator is bit-reproducible there, so every row is a
+   pure function of the printed configuration. *)
+
+module P = Parallaft
+
+let platform = Platform.testing
+
+let program =
+  Workloads.Codegen.generate ~name:"det" ~seed:21L
+    ~page_size:platform.Platform.page_size
+    {
+      Workloads.Codegen.pattern =
+        Workloads.Codegen.Chase { pages = 12; hot_pages = 4; cold_every = 2 };
+      alu_per_mem = 3;
+      store_every = 2;
+      outer_iters = 30;
+      inner_iters = 40;
+      io_every = 3;
+      gettime_every = 0;
+      rdtsc_every = 0;
+      mmap_churn = false;
+    }
+
+let base_cfg () = P.Config.parallaft ~platform ~slice_period:20_000 ()
+
+let run_probed config =
+  let captured = ref None in
+  let before_run eng coord = captured := Some (eng, coord) in
+  let r = P.Runtime.run_protected ~platform ~config ~before_run ~program () in
+  match !captured with
+  | None -> failwith "exp_backends: before_run did not fire"
+  | Some (eng, coord) -> (r, eng, coord)
+
+let leaked_pids eng coord =
+  P.Coordinator.release_recovery_state coord;
+  Sim_os.Engine.live_processes eng
+
+(* Program-derived observables only: segment counts legitimately shift
+   with checker lifetime (CoW copy costs move the cycle-based slice
+   boundaries), so they are asserted within-run, not across runs. *)
+let signature (r : P.Runtime.report) =
+  ( r.P.Runtime.exit_status,
+    r.P.Runtime.output,
+    P.Stats.final_state_hash r.P.Runtime.stats )
+
+(* The recovery leg can't include raw output: a rollback re-executes
+   segments whose writes were already externalized, so their bytes
+   appear twice — I/O can't be retracted, only state can. That
+   duplication is itself part of the staleness cost and gets its own
+   table column; the SDC criterion is final state + exit, same as the
+   fault-injection campaign's. *)
+let sdc_signature (r : P.Runtime.report) =
+  (r.P.Runtime.exit_status, P.Stats.final_state_hash r.P.Runtime.stats)
+
+let staleness_table () =
+  Printf.printf
+    "Staleness vs recovery cost: deferred backend, batch 2, recovery on,\n\
+     one main-memory fault at segment 6 (page 6 bit 6, +50 insns).\n\n";
+  let fault =
+    Some
+      {
+        Fault.segment = 6;
+        delay_instructions = 50;
+        target = Fault.Main_memory_page { page_index = 6; bit = 6 };
+        repeat = false;
+      }
+  in
+  let cfg ~max_lag ~fault_plan =
+    {
+      (base_cfg ()) with
+      P.Config.backend = P.Config.deferred_backend ~batch:2 ~max_lag ();
+      recovery = true;
+      fault_plan;
+    }
+  in
+  Util.Table.print
+    ~header:
+      [
+        "max_lag";
+        "clean wall";
+        "faulted wall";
+        "rollback cost";
+        "re-executed";
+        "dup output";
+        "recoveries";
+        "max lag seen";
+      ]
+    (List.map
+       (fun max_lag ->
+         let clean, _, _ = run_probed (cfg ~max_lag ~fault_plan:None) in
+         let faulted, eng, coord = run_probed (cfg ~max_lag ~fault_plan:fault) in
+         let cs = clean.P.Runtime.stats and fs = faulted.P.Runtime.stats in
+         if sdc_signature faulted <> sdc_signature clean then
+           failwith "exp_backends: recovery corrupted the program state";
+         if faulted.P.Runtime.aborted || fs.P.Stats.recoveries < 1 then
+           failwith "exp_backends: the staleness fault did not recover";
+         if leaked_pids eng coord <> 0 then
+           failwith "exp_backends: leaked simulated pids";
+         [
+           string_of_int max_lag;
+           Printf.sprintf "%.3f ms"
+             (float_of_int clean.P.Runtime.wall_ns /. 1e6);
+           Printf.sprintf "%.3f ms"
+             (float_of_int faulted.P.Runtime.wall_ns /. 1e6);
+           Printf.sprintf "%.3f ms"
+             (float_of_int
+                (faulted.P.Runtime.wall_ns - clean.P.Runtime.wall_ns)
+             /. 1e6);
+           string_of_int
+             (fs.P.Stats.segments_total - cs.P.Stats.segments_total);
+           Printf.sprintf "%d B"
+             (String.length faulted.P.Runtime.output
+             - String.length clean.P.Runtime.output);
+           string_of_int fs.P.Stats.recoveries;
+           string_of_int fs.P.Stats.backend.P.Stats.b_max_lag;
+         ])
+       [ 1; 2; 4; 8 ])
+
+let chaos_campaign () =
+  Printf.printf
+    "Chaos campaign: remote backend, 3 nodes, retry budget 6. Every row\n\
+     is asserted exactly-once, sdc=0 vs the fault-free inline reference,\n\
+     >=1 re-dispatch, and zero leaked pids — a failed assertion aborts\n\
+     the experiment.\n\n";
+  let inline, _, _ = run_probed (base_cfg ()) in
+  if inline.P.Runtime.aborted || inline.P.Runtime.detections <> [] then
+    failwith "exp_backends: the inline reference run was not clean";
+  let ref_sig = signature inline in
+  Util.Table.print
+    ~header:
+      [
+        "intensity";
+        "crash/stall/late/pre %";
+        "verified";
+        "redispatched";
+        "expired";
+        "stale";
+        "wall";
+      ]
+    (List.map
+       (fun (label, crash, stall, late, prelaunch, seed) ->
+         let chaos =
+           {
+             P.Config.chaos_seed = seed;
+             crash_pct = crash;
+             stall_pct = stall;
+             late_pct = late;
+             prelaunch_pct = prelaunch;
+             reboot_ns = 400_000;
+             late_ns = 150_000;
+           }
+         in
+         let config =
+           {
+             (base_cfg ()) with
+             P.Config.backend =
+               P.Config.remote_backend ~nodes:3 ~retries:6 ~chaos ();
+             watchdog_stall_ns = 2_000_000;
+           }
+         in
+         let r, eng, coord = run_probed config in
+         let b = r.P.Runtime.stats.P.Stats.backend in
+         let total = r.P.Runtime.stats.P.Stats.segments_total in
+         if r.P.Runtime.aborted then
+           failwith
+             (Printf.sprintf
+                "exp_backends: %s chaos exhausted the retry budget" label);
+         if r.P.Runtime.detections <> [] || signature r <> ref_sig then
+           failwith
+             (Printf.sprintf "exp_backends: %s chaos corrupted the run" label);
+         if b.P.Stats.b_verified <> total then
+           failwith
+             (Printf.sprintf "exp_backends: %s chaos lost a segment" label);
+         if b.P.Stats.b_redispatched < 1 then
+           failwith
+             (Printf.sprintf
+                "exp_backends: %s chaos never struck — tune the rates" label);
+         if leaked_pids eng coord <> 0 then
+           failwith
+             (Printf.sprintf "exp_backends: %s chaos leaked pids" label);
+         [
+           label;
+           Printf.sprintf "%d/%d/%d/%d" crash stall late prelaunch;
+           Printf.sprintf "%d/%d" b.P.Stats.b_verified total;
+           string_of_int b.P.Stats.b_redispatched;
+           string_of_int b.P.Stats.b_leases_expired;
+           string_of_int b.P.Stats.b_stale_verdicts;
+           Printf.sprintf "%.3f ms" (float_of_int r.P.Runtime.wall_ns /. 1e6);
+         ])
+       [
+         ("light", 10, 5, 5, 5, 0x51A07L);
+         ("medium", 25, 10, 10, 10, 0x51A08L);
+         ("heavy", 40, 15, 15, 15, 0x51A09L);
+       ])
+
+let run () =
+  staleness_table ();
+  print_newline ();
+  chaos_campaign ()

@@ -75,6 +75,13 @@ let all () =
       run = (fun () -> Exp_ablation.run ~scale);
     };
     {
+      name = "backends";
+      title =
+        "Checker backends: staleness vs recovery cost, remote chaos campaign \
+         (DESIGN.md §18)";
+      run = (fun () -> Exp_backends.run ());
+    };
+    {
       name = "calibrate";
       title = "Calibration: per-benchmark little-core slowdowns";
       run =
@@ -93,7 +100,8 @@ let find which =
     Some
       (List.filter
          (fun e ->
-           e.name <> "calibrate" && e.name <> "ablation" && e.name <> "fleet")
+           e.name <> "calibrate" && e.name <> "ablation" && e.name <> "fleet"
+           && e.name <> "backends")
          exps)
   | name -> (
     match List.find_opt (fun e -> e.name = name) exps with

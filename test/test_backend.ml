@@ -1,0 +1,596 @@
+(* Checker-backend tests (DESIGN.md §18): the lease supervisor's
+   exactly-once accounting in isolation, the differential contract
+   (Deferred at any batch size and fault-free Remote_sim must be
+   observably identical to Inline), the chaos properties (random node
+   crashes/stalls/late verdicts never double-count or lose a segment),
+   the pre-launch death window, stale-verdict discard, and the
+   mid-batch rollback truncation of the persisted seglog.
+
+   Every run in this file executes with the invariant sweeps on: the
+   supervisor cross-checks its ledger against its counters after every
+   routed event. *)
+
+let () = Unix.putenv "PARALLAFT_INVARIANTS" "1"
+
+let platform = Platform.testing
+
+module Sup = Backend.Supervisor
+module E = Sim_os.Engine
+
+(* ---------- supervisor unit tests ---------- *)
+
+let lease0 s ~id ?(node = 0) ?(incarnation = 0) ?(now_ns = 0) ?(insns = 0) () =
+  Sup.lease s ~id ~node ~incarnation ~now_ns ~insns
+
+let settle_tag = Alcotest.of_pp (fun fmt -> function
+  | `Ok -> Format.fprintf fmt "`Ok"
+  | `Stale -> Format.fprintf fmt "`Stale")
+
+let hb_tag = Alcotest.of_pp (fun fmt -> function
+  | `Ok -> Format.fprintf fmt "`Ok"
+  | `Expired -> Format.fprintf fmt "`Expired")
+
+let test_sup_lifecycle () =
+  let s = Sup.create () in
+  Sup.note_recorded s 0;
+  Alcotest.(check int) "recorded" 1 (Sup.recorded s);
+  Alcotest.(check int) "unsettled" 1 (Sup.unsettled s);
+  Alcotest.(check bool) "not all settled" false (Sup.all_settled s);
+  lease0 s ~id:0 ~node:2 ();
+  Alcotest.(check int) "dispatched" 1 (Sup.dispatched s);
+  Alcotest.(check (option int)) "node" (Some 2) (Sup.node_of s ~id:0);
+  Alcotest.(check (option int)) "incarnation" (Some 0)
+    (Sup.current_incarnation s ~id:0);
+  Alcotest.check settle_tag "settles" `Ok (Sup.settle s ~id:0 ~incarnation:0);
+  Alcotest.(check int) "settled" 1 (Sup.settled s);
+  Alcotest.(check bool) "all settled" true (Sup.all_settled s);
+  Sup.check_invariants s
+
+let test_sup_stale_and_redispatch () =
+  let s = Sup.create () in
+  Sup.note_recorded s 7;
+  lease0 s ~id:7 ();
+  lease0 s ~id:7 ~node:1 ~incarnation:1 ~now_ns:50 ();
+  Alcotest.(check int) "re-lease counted" 1 (Sup.redispatched s);
+  Alcotest.check settle_tag "old incarnation is stale" `Stale
+    (Sup.settle s ~id:7 ~incarnation:0);
+  Alcotest.(check int) "stale counted" 1 (Sup.stale_verdicts s);
+  Alcotest.(check int) "still unsettled" 1 (Sup.unsettled s);
+  Alcotest.check settle_tag "current incarnation settles" `Ok
+    (Sup.settle s ~id:7 ~incarnation:1);
+  Sup.check_invariants s;
+  (* A re-lease that does not advance the incarnation is a routing
+     bug, not a re-dispatch. *)
+  Sup.note_recorded s 8;
+  lease0 s ~id:8 ~incarnation:1 ();
+  Alcotest.check_raises "non-monotonic re-lease"
+    (Sup.Violation "supervisor: segment 8 re-leased at incarnation 1 (current 1)")
+    (fun () -> lease0 s ~id:8 ~incarnation:1 ())
+
+let test_sup_violations () =
+  let s = Sup.create () in
+  Sup.note_recorded s 0;
+  lease0 s ~id:0 ();
+  Alcotest.check settle_tag "settles" `Ok (Sup.settle s ~id:0 ~incarnation:0);
+  (try
+     ignore (Sup.settle s ~id:0 ~incarnation:0);
+     Alcotest.fail "double settle did not raise"
+   with Sup.Violation _ -> ());
+  (try
+     lease0 s ~id:0 ~incarnation:1 ();
+     Alcotest.fail "lease after settle did not raise"
+   with Sup.Violation _ -> ());
+  try
+    Sup.note_recorded s 0;
+    Alcotest.fail "duplicate record did not raise"
+  with Sup.Violation _ -> ()
+
+let test_sup_prelaunch_swap () =
+  (* First grant already at incarnation 1: the checker was replaced in
+     the dispatch-to-launch window. It must count as a re-dispatch. *)
+  let s = Sup.create () in
+  Sup.note_recorded s 3;
+  lease0 s ~id:3 ~incarnation:1 ();
+  Alcotest.(check int) "prelaunch swap counted" 1 (Sup.redispatched s);
+  Alcotest.check settle_tag "settles at the granted incarnation" `Ok
+    (Sup.settle s ~id:3 ~incarnation:1);
+  Sup.check_invariants s
+
+let test_sup_heartbeat () =
+  let s = Sup.create () in
+  let budget_ns = 50_000 in
+  Sup.note_recorded s 1;
+  lease0 s ~id:1 ~now_ns:0 ~insns:100 ();
+  Alcotest.check hb_tag "within budget" `Ok
+    (Sup.heartbeat s ~id:1 ~now_ns:10_000 ~insns:100 ~excused:false ~budget_ns);
+  Alcotest.check hb_tag "progress renews" `Ok
+    (Sup.heartbeat s ~id:1 ~now_ns:40_000 ~insns:200 ~excused:false ~budget_ns);
+  Alcotest.check hb_tag "renewed clock still live" `Ok
+    (Sup.heartbeat s ~id:1 ~now_ns:80_000 ~insns:200 ~excused:true ~budget_ns);
+  (* The excuse at 80_000 renewed the lease; silence past the budget
+     from there expires it. *)
+  Alcotest.check hb_tag "silence expires" `Expired
+    (Sup.heartbeat s ~id:1 ~now_ns:140_000 ~insns:200 ~excused:false ~budget_ns);
+  Sup.note_expired s ~id:1;
+  Alcotest.(check int) "expiry counted" 1 (Sup.leases_expired s);
+  Alcotest.check hb_tag "no lease answers Ok" `Ok
+    (Sup.heartbeat s ~id:99 ~now_ns:0 ~insns:0 ~excused:false ~budget_ns)
+
+let test_sup_cancel () =
+  let s = Sup.create () in
+  Sup.note_recorded s 0;
+  Sup.note_recorded s 1;
+  Sup.note_recorded s 2;
+  lease0 s ~id:0 ();
+  Alcotest.check settle_tag "settles" `Ok (Sup.settle s ~id:0 ~incarnation:0);
+  lease0 s ~id:1 ();
+  Alcotest.(check int) "rollback drops pending and leased" 2
+    (Sup.cancel_unsettled s);
+  Alcotest.(check int) "recorded excludes the cancelled" 1 (Sup.recorded s);
+  Alcotest.(check bool) "all settled after cancel" true (Sup.all_settled s);
+  Sup.check_invariants s
+
+let test_sup_streaming_settle () =
+  (* A RAFT streaming checker can retire before its segment finishes
+     recording: settle on an unknown id registers-and-settles. *)
+  let s = Sup.create () in
+  Alcotest.check settle_tag "unknown id settles" `Ok
+    (Sup.settle s ~id:5 ~incarnation:0);
+  Alcotest.(check int) "recorded" 1 (Sup.recorded s);
+  Alcotest.(check int) "settled" 1 (Sup.settled s);
+  Sup.check_invariants s
+
+(* ---------- end-to-end helpers ---------- *)
+
+(* Pure function of the program (no time queries): every backend must
+   produce byte-identical output and final state. *)
+let deterministic_program ?(outer = 30) () =
+  Workloads.Codegen.generate ~name:"det" ~seed:21L
+    ~page_size:platform.Platform.page_size
+    {
+      Workloads.Codegen.pattern =
+        Workloads.Codegen.Chase { pages = 12; hot_pages = 4; cold_every = 2 };
+      alu_per_mem = 3;
+      store_every = 2;
+      outer_iters = outer;
+      inner_iters = 40;
+      io_every = 3;
+      gettime_every = 0;
+      rdtsc_every = 0;
+      mmap_churn = false;
+    }
+
+let base_cfg () = Parallaft.Config.parallaft ~platform ~slice_period:20_000 ()
+
+(* The DVFS pacer and the recorder's boundary hold both react to
+   verification lag, so a lagging backend legitimately re-paces the
+   main and shifts slice boundaries. The strict differential (every
+   counter equal) holds with the feedback paths neutralized — pacing
+   off, live-segment cap far above what the run reaches; the chaos
+   properties keep them on and compare only the correctness-observable
+   surface. *)
+let nopace_cfg () =
+  {
+    (base_cfg ()) with
+    Parallaft.Config.dvfs_pacing = false;
+    max_live_segments = 64;
+  }
+
+let run_cfg ?seed config =
+  Parallaft.Runtime.run_protected ?seed ~platform ~config
+    ~program:(deterministic_program ()) ()
+
+(* The observable signature the differential property compares:
+   everything derived from the main's instruction stream. Segment and
+   checkpoint counts are deliberately excluded — the testing platform
+   slices by cycles, and main's cycle count includes the CoW copies its
+   stores pay while checker forks still share its pages, so how long a
+   backend keeps checkers alive legitimately shifts slice boundaries.
+   Within-run exactness (every segment compared and verified) is
+   asserted separately. *)
+type signature = {
+  sg_detections : string list;
+  sg_aborted : bool;
+  sg_exit : int option;
+  sg_output : string;
+  sg_final_hash : int64 option;
+  sg_syscalls : int;
+  sg_nondet : int;
+}
+
+let signature (r : Parallaft.Runtime.report) =
+  {
+    sg_detections =
+      List.map
+        (fun (seg, o) ->
+          Printf.sprintf "%d:%s" seg (Parallaft.Detection.outcome_to_string o))
+        r.Parallaft.Runtime.detections;
+    sg_aborted = r.aborted;
+    sg_exit = r.exit_status;
+    sg_output = r.output;
+    sg_final_hash = Parallaft.Stats.final_state_hash r.stats;
+    sg_syscalls = r.stats.Parallaft.Stats.syscalls_recorded;
+    sg_nondet = r.stats.Parallaft.Stats.nondet_recorded;
+  }
+
+let pp_signature fmt s =
+  Format.fprintf fmt
+    "{det=[%s]; aborted=%b; exit=%s; out=%d bytes (hash %d); final=%s; \
+     sys=%d; nondet=%d}"
+    (String.concat ";" s.sg_detections)
+    s.sg_aborted
+    (match s.sg_exit with None -> "-" | Some e -> string_of_int e)
+    (String.length s.sg_output)
+    (Hashtbl.hash s.sg_output)
+    (match s.sg_final_hash with
+    | None -> "-"
+    | Some h -> Printf.sprintf "%Lx" h)
+    s.sg_syscalls s.sg_nondet
+
+(* Every recorded segment was compared and settled exactly once. *)
+let check_fully_verified (r : Parallaft.Runtime.report) =
+  let total = r.Parallaft.Runtime.stats.Parallaft.Stats.segments_total in
+  r.stats.Parallaft.Stats.segments_compared = total
+  && r.stats.Parallaft.Stats.backend.Parallaft.Stats.b_verified = total
+
+let inline_reference = lazy (run_cfg (nopace_cfg ()))
+
+let backend_stats (r : Parallaft.Runtime.report) =
+  r.Parallaft.Runtime.stats.Parallaft.Stats.backend
+
+(* ---------- differential properties ---------- *)
+
+let qcheck_deferred_identical =
+  QCheck.Test.make ~count:8 ~name:"deferred batch 1..8 = inline"
+    QCheck.(int_range 1 8)
+    (fun batch ->
+      (* The int shrinker can probe outside the generator's range. *)
+      QCheck.assume (batch >= 1 && batch <= 8);
+      let ref_sig = signature (Lazy.force inline_reference) in
+      let config =
+        {
+          (nopace_cfg ()) with
+          Parallaft.Config.backend =
+            Parallaft.Config.deferred_backend ~batch ~max_lag:64 ();
+        }
+      in
+      let r = run_cfg config in
+      if signature r <> ref_sig then
+        QCheck.Test.fail_reportf "batch %d diverged:@.inline   %a@.deferred %a"
+          batch pp_signature ref_sig pp_signature (signature r);
+      let b = backend_stats r in
+      check_fully_verified r
+      && b.Parallaft.Stats.b_batches >= 1
+      && b.Parallaft.Stats.b_redispatched = 0)
+
+let qcheck_remote_identical =
+  QCheck.Test.make ~count:4 ~name:"fault-free remote = inline"
+    QCheck.(int_range 1 4)
+    (fun nodes ->
+      QCheck.assume (nodes >= 1 && nodes <= 4);
+      let ref_sig = signature (Lazy.force inline_reference) in
+      let config =
+        {
+          (nopace_cfg ()) with
+          Parallaft.Config.backend =
+            Parallaft.Config.remote_backend ~nodes ~retries:3 ();
+        }
+      in
+      let r = run_cfg config in
+      if signature r <> ref_sig then
+        QCheck.Test.fail_reportf "nodes %d diverged:@.inline %a@.remote %a"
+          nodes pp_signature ref_sig pp_signature (signature r);
+      let b = backend_stats r in
+      check_fully_verified r && b.Parallaft.Stats.b_stale_verdicts = 0)
+
+(* ---------- trace span balance (from test_obs) ---------- *)
+
+let assert_spans_balanced sink =
+  let stacks : (Obs.Trace.track, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let stack =
+        Option.value (Hashtbl.find_opt stacks e.Obs.Trace.track) ~default:[]
+      in
+      match e.Obs.Trace.phase with
+      | Obs.Trace.Begin ->
+        Hashtbl.replace stacks e.Obs.Trace.track (e.Obs.Trace.name :: stack)
+      | Obs.Trace.End -> (
+        match stack with
+        | top :: rest when top = e.Obs.Trace.name ->
+          Hashtbl.replace stacks e.Obs.Trace.track rest
+        | _ -> Alcotest.fail ("unmatched End event: " ^ e.Obs.Trace.name))
+      | Obs.Trace.Instant | Obs.Trace.Counter -> ())
+    (Obs.Trace.events sink.Obs.Sink.trace);
+  Hashtbl.iter
+    (fun _ stack ->
+      match stack with
+      | [] -> ()
+      | name :: _ -> Alcotest.fail ("dangling Begin span: " ^ name))
+    stacks
+
+let test_deferred_spans_balanced () =
+  let sink = Obs.Sink.create () in
+  let config =
+    {
+      (base_cfg ()) with
+      Parallaft.Config.obs = Some sink;
+      backend = Parallaft.Config.deferred_backend ~batch:3 ~max_lag:8 ();
+    }
+  in
+  let r = run_cfg config in
+  Alcotest.(check bool) "clean" false r.Parallaft.Runtime.aborted;
+  assert_spans_balanced sink
+
+(* ---------- chaos ---------- *)
+
+let chaos ?(crash = 0) ?(stall = 0) ?(late = 0) ?(prelaunch = 0)
+    ?(seed = 0xC4A05L) ?(late_ns = 150_000) ?(reboot_ns = 400_000) () =
+  {
+    Parallaft.Config.chaos_seed = seed;
+    crash_pct = crash;
+    stall_pct = stall;
+    late_pct = late;
+    prelaunch_pct = prelaunch;
+    reboot_ns;
+    late_ns;
+  }
+
+let remote_cfg ?(retries = 6) ?(watchdog_stall_ns = 2_000_000) chaos_spec =
+  {
+    (base_cfg ()) with
+    Parallaft.Config.backend =
+      Parallaft.Config.remote_backend ~nodes:3 ~retries ~chaos:chaos_spec ();
+    watchdog_stall_ns;
+  }
+
+(* Capture the engine and coordinator so the test can release the
+   recovery snapshots and count leaked processes afterwards. *)
+let run_probed ?seed config =
+  let captured = ref None in
+  let before_run eng coord = captured := Some (eng, coord) in
+  let r =
+    Parallaft.Runtime.run_protected ?seed ~platform ~config ~before_run
+      ~program:(deterministic_program ()) ()
+  in
+  match !captured with
+  | None -> Alcotest.fail "before_run did not fire"
+  | Some (eng, coord) -> (r, eng, coord)
+
+let leaked_pids eng coord =
+  Parallaft.Coordinator.release_recovery_state coord;
+  E.live_processes eng
+
+let qcheck_chaos_exactly_once =
+  QCheck.Test.make ~count:12 ~name:"chaos: exactly-once, no SDC, no leaks"
+    QCheck.(
+      pair (int_range 0 1000)
+        (quad (int_range 0 40) (int_range 0 25) (int_range 0 25)
+           (int_range 0 25)))
+    (fun (seed, (crash, stall, late, prelaunch)) ->
+      let ref_sig = signature (Lazy.force inline_reference) in
+      let config =
+        remote_cfg
+          (chaos ~crash ~stall ~late ~prelaunch
+             ~seed:(Int64.of_int (0x5EED00 + seed))
+             ())
+      in
+      let r, eng, coord = run_probed config in
+      let b = backend_stats r in
+      let total = r.stats.Parallaft.Stats.segments_total in
+      if r.Parallaft.Runtime.aborted then
+        (* The retry budget ran out under heavy chaos: fail-stop is an
+           acceptable outcome, silent corruption and double-counting
+           are not. *)
+        b.Parallaft.Stats.b_verified <= total
+      else begin
+        if signature r <> ref_sig then
+          QCheck.Test.fail_reportf
+            "chaos (%d,%d,%d,%d) seed %d corrupted the run:@.inline %a@.remote %a"
+            crash stall late prelaunch seed pp_signature ref_sig pp_signature
+            (signature r);
+        b.Parallaft.Stats.b_verified = total && leaked_pids eng coord = 0
+      end)
+
+let test_prelaunch_death_redispatched () =
+  (* Every dispatch loses its checker in the dispatch-to-launch RPC
+     window. The supervisor must swap in the spare and re-dispatch —
+     never hang, never skip a segment. *)
+  let config = remote_cfg (chaos ~prelaunch:80 ~seed:0xDEAD1L ()) in
+  let r, eng, coord = run_probed config in
+  Alcotest.(check bool) "not aborted" false r.Parallaft.Runtime.aborted;
+  Alcotest.(check (list Alcotest.string)) "no detections" []
+    (List.map
+       (fun (_, o) -> Parallaft.Detection.outcome_to_string o)
+       r.Parallaft.Runtime.detections);
+  let b = backend_stats r in
+  Alcotest.(check bool) "watchdog saw the deaths" true
+    (r.stats.Parallaft.Stats.watchdog_kills >= 1);
+  Alcotest.(check bool) "re-dispatched at least once" true
+    (b.Parallaft.Stats.b_redispatched >= 1);
+  Alcotest.(check int) "every segment verified exactly once"
+    r.stats.Parallaft.Stats.segments_total b.Parallaft.Stats.b_verified;
+  Alcotest.(check int) "no leaked processes" 0 (leaked_pids eng coord)
+
+let test_stale_verdict_discarded () =
+  (* Late verdicts parked past the heartbeat budget: the lease expires,
+     the segment re-dispatches, and the parked verdict must be
+     discarded as stale when it finally lands — not double-counted.
+     The late delay straddles the budget so re-dispatches eventually
+     deliver in time. *)
+  let config =
+    remote_cfg ~watchdog_stall_ns:1_600_000
+      (chaos ~late:100 ~late_ns:1_000_000 ~seed:0x57A1EL ())
+  in
+  let r, eng, coord = run_probed config in
+  Alcotest.(check bool) "not aborted" false r.Parallaft.Runtime.aborted;
+  Alcotest.(check (list Alcotest.string)) "no detections" []
+    (List.map
+       (fun (_, o) -> Parallaft.Detection.outcome_to_string o)
+       r.Parallaft.Runtime.detections);
+  let b = backend_stats r in
+  Alcotest.(check bool) "at least one verdict went stale" true
+    (b.Parallaft.Stats.b_stale_verdicts >= 1);
+  Alcotest.(check int) "every segment verified exactly once"
+    r.stats.Parallaft.Stats.segments_total b.Parallaft.Stats.b_verified;
+  Alcotest.(check int) "no leaked processes" 0 (leaked_pids eng coord)
+
+let test_chaos_spans_balanced () =
+  let sink = Obs.Sink.create () in
+  let config =
+    {
+      (remote_cfg (chaos ~crash:25 ~stall:10 ~late:10 ~prelaunch:10 ())) with
+      Parallaft.Config.obs = Some sink;
+    }
+  in
+  let r, _, _ = run_probed config in
+  ignore r.Parallaft.Runtime.aborted;
+  assert_spans_balanced sink
+
+(* ---------- mid-batch rollback truncation (seglog) ---------- *)
+
+let e2e_dir leg =
+  Filename.concat (Filename.get_temp_dir_name ()) ("parallaft_test_" ^ leg)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  really_input ic b 0 len;
+  close_in ic;
+  b
+
+let load_log dir =
+  let ok what = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" what (Seglog.Codec.error_to_string e)
+  in
+  let manifest =
+    ok "manifest"
+      (Seglog.Reader.manifest (read_file (Filename.concat dir "manifest.plog")))
+  in
+  ok "fingerprint" (Seglog.Reader.validate_fingerprint manifest);
+  let reader =
+    Seglog.Reader.create
+      ~config_digest:manifest.Seglog.Record.header.Seglog.Record.config_digest
+  in
+  let segments =
+    List.map
+      (fun id ->
+        ok
+          (Printf.sprintf "segment %d" id)
+          (Seglog.Reader.segment reader
+             (read_file
+                (Filename.concat dir (Parallaft.Seglog_io.segment_file_name id)))))
+      manifest.Seglog.Record.segments
+  in
+  (manifest, segments)
+
+let test_truncation_mid_batch () =
+  (* A checker-detected fault at segment 2 while later segments sit
+     queued behind the deferred batch: the rollback must truncate the
+     manifest at the failing segment — the queued-but-never-checked
+     segments past it were recorded against state the rollback
+     discarded and must not be listed, even though their files were
+     already persisted. *)
+  let dir = e2e_dir "backend_truncation" in
+  let config =
+    {
+      (Parallaft.Config.parallaft ~platform ~slice_period:3000 ()) with
+      Parallaft.Config.backend =
+        Parallaft.Config.deferred_backend ~batch:4 ~max_lag:8 ();
+      recovery = true;
+      record_log = Some dir;
+      fault_plan =
+        Some
+          {
+            Fault.segment = 2;
+            delay_instructions = 60;
+            target = Fault.Checker_memory_page { page_index = 6; bit = 6 };
+            repeat = false;
+          };
+    }
+  in
+  let r =
+    Parallaft.Runtime.run_protected ~platform ~config
+      ~program:(deterministic_program ()) ()
+  in
+  Alcotest.(check bool) "fault was detected live" true
+    (r.Parallaft.Runtime.detections <> []);
+  Alcotest.(check bool) "run recovered, not aborted" false
+    r.Parallaft.Runtime.aborted;
+  let fail_seg = fst (List.hd r.Parallaft.Runtime.detections) in
+  let manifest, segments = load_log dir in
+  let trunc =
+    match manifest.Seglog.Record.truncated_at with
+    | None -> Alcotest.fail "rollback did not latch a truncation point"
+    | Some k -> k
+  in
+  Alcotest.(check int) "truncated at the failing segment" fail_seg trunc;
+  List.iter
+    (fun id ->
+      if id > trunc then
+        Alcotest.failf "manifest lists segment %d past truncation %d" id trunc)
+    manifest.Seglog.Record.segments;
+  (* The deferred queue had persisted segments past the failure before
+     the rollback landed: their files remain on disk but the manifest
+     must not reference them. *)
+  let orphan = ref false in
+  Array.iter
+    (fun f ->
+      match Scanf.sscanf_opt f "seg-%d.plog" (fun id -> id) with
+      | Some id when id > trunc -> orphan := true
+      | Some _ | None -> ())
+    (Sys.readdir dir);
+  Alcotest.(check bool) "queued segments past truncation were persisted" true
+    !orphan;
+  (* Offline replay of the truncated prefix reproduces the verdict. *)
+  match Parallaft.Offline.replay ~manifest ~segments with
+  | Error e -> Alcotest.failf "offline replay: %s" e
+  | Ok (Parallaft.Offline.Verified _) ->
+    Alcotest.fail "offline replay missed the recorded fault"
+  | Ok (Parallaft.Offline.Diverged d) ->
+    Alcotest.(check int) "offline divergence at the failing segment" fail_seg
+      d.Parallaft.Offline.segment
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "supervisor",
+        [
+          Alcotest.test_case "lease lifecycle" `Quick test_sup_lifecycle;
+          Alcotest.test_case "stale verdicts and re-dispatch" `Quick
+            test_sup_stale_and_redispatch;
+          Alcotest.test_case "structural violations raise" `Quick
+            test_sup_violations;
+          Alcotest.test_case "pre-launch swap counts as re-dispatch" `Quick
+            test_sup_prelaunch_swap;
+          Alcotest.test_case "heartbeat budget" `Quick test_sup_heartbeat;
+          Alcotest.test_case "rollback cancels unsettled" `Quick
+            test_sup_cancel;
+          Alcotest.test_case "streaming settle registers" `Quick
+            test_sup_streaming_settle;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest qcheck_deferred_identical;
+          QCheck_alcotest.to_alcotest qcheck_remote_identical;
+          Alcotest.test_case "deferred spans balanced" `Slow
+            test_deferred_spans_balanced;
+        ] );
+      ( "chaos",
+        [
+          QCheck_alcotest.to_alcotest qcheck_chaos_exactly_once;
+          Alcotest.test_case "pre-launch deaths re-dispatch" `Slow
+            test_prelaunch_death_redispatched;
+          Alcotest.test_case "stale verdicts discarded" `Slow
+            test_stale_verdict_discarded;
+          Alcotest.test_case "chaos spans balanced" `Slow
+            test_chaos_spans_balanced;
+        ] );
+      ( "seglog",
+        [
+          Alcotest.test_case "mid-batch rollback truncates the manifest" `Slow
+            test_truncation_mid_batch;
+        ] );
+    ]
